@@ -1,0 +1,76 @@
+// Ablation — helper cluster design space: clock ratio (Section 2.2's 2x
+// claim), datapath width (Section 2.1: "more narrow instructions would be
+// executed ... if it would be possible to construct a wider than 8-bits"),
+// and reduced helper scheduler resources (Section 2.2: "negligible impact").
+#include "bench_util.hpp"
+
+using namespace hcsim;
+using namespace hcsim::bench;
+
+namespace {
+
+double avg_gain(const MachineConfig& helper_cfg, u64 len) {
+  std::vector<double> gains;
+  for (const char* app : {"gcc", "gzip", "twolf", "parser", "vpr"}) {
+    const hcsim::Trace& tr = cached_trace(spec_profile(app), len);
+    const SimResult rb = simulate(monolithic_baseline(), tr);
+    const SimResult rh = simulate(helper_cfg, tr);
+    // Compare wide-cycle counts, not raw ticks: a wide cycle is the same
+    // physical duration regardless of the helper clock ratio.
+    gains.push_back((rb.wide_cycles / rh.wide_cycles - 1.0) * 100.0);
+  }
+  return hcsim::bench::avg(gains);
+}
+
+}  // namespace
+
+int main() {
+  const u64 len = default_trace_len();
+
+  header("Ablation A - helper clock ratio",
+         "the 8-bit backend can be clocked 2x the 32-bit backend (Sec 2.2)");
+  TextTable ta({"clock ratio", "perf+% (avg)"});
+  std::vector<double> ratio_gain;
+  for (unsigned ratio : {1u, 2u, 3u, 4u}) {
+    MachineConfig cfg = helper_machine(steering_ir());
+    cfg.ticks_per_wide_cycle = ratio;
+    const double g = avg_gain(cfg, len);
+    ratio_gain.push_back(g);
+    ta.add_row({std::to_string(ratio) + "x", TextTable::num(g, 1)});
+  }
+  std::printf("%s\n", ta.render().c_str());
+
+  header("Ablation B - helper datapath width",
+         "8 bits is the complexity/performance design point; wider helpers "
+         "catch more instructions (Sec 2.1)");
+  TextTable tb({"width (bits)", "perf+% (avg)", "steered% (gcc)"});
+  for (unsigned width : {4u, 8u, 16u}) {
+    MachineConfig cfg = helper_machine(steering_ir());
+    cfg.helper_width_bits = width;
+    const double g = avg_gain(cfg, len);
+    const SimResult r = simulate(cfg, cached_trace(spec_profile("gcc"), len));
+    tb.add_row({std::to_string(width), TextTable::num(g, 1),
+                TextTable::num(100.0 * r.helper_frac(), 1)});
+  }
+  std::printf("%s\n", tb.render().c_str());
+
+  header("Ablation C - reduced helper scheduler",
+         "reduced issue queue size and width: negligible impact (Sec 2.2)");
+  TextTable tc({"helper IQ/issue", "perf+% (avg)"});
+  double full = 0, reduced = 0;
+  {
+    MachineConfig cfg = helper_machine(steering_ir());
+    full = avg_gain(cfg, len);
+    tc.add_row({"32 / 3", TextTable::num(full, 1)});
+    cfg.iq_helper = 16;
+    cfg.issue_helper = 2;
+    reduced = avg_gain(cfg, len);
+    tc.add_row({"16 / 2", TextTable::num(reduced, 1)});
+  }
+  std::printf("%s\n", tc.render().c_str());
+
+  footer_shape(ratio_gain[1] > ratio_gain[0] && full - reduced < 6.0,
+               "2x clock clearly beats 1x; shrinking the helper scheduler "
+               "costs comparatively little");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation — width predictor table size sweep. The paper states that 256
+// entries "was found to be a good compromise between complexity and
+// performance" (Section 3.2); this bench regenerates that tradeoff curve.
+#include "bench_util.hpp"
+
+using namespace hcsim;
+using namespace hcsim::bench;
+
+int main() {
+  header("Ablation - width predictor table size",
+         "256 entries chosen as the complexity/performance compromise");
+
+  const std::vector<u32> sizes = {16, 64, 256, 1024, 4096};
+  TextTable t({"entries", "perf+% (avg)", "wp accuracy %", "fatal %"});
+  std::vector<double> perf_at;
+  for (u32 size : sizes) {
+    std::vector<double> gains, accs, fatals;
+    for (const char* app : {"gcc", "gzip", "twolf", "parser"}) {
+      const Trace& tr = cached_trace(spec_profile(app), default_trace_len());
+      MachineConfig base = monolithic_baseline();
+      MachineConfig helper = helper_machine(steering_888_br_lr_cr());
+      helper.wpred.entries = size;
+      const SimResult rb = simulate(base, tr);
+      const SimResult rh = simulate(helper, tr);
+      gains.push_back((rh.speedup_vs(rb) - 1.0) * 100.0);
+      accs.push_back(100.0 * rh.wp_accuracy());
+      fatals.push_back(100.0 * rh.fatal_rate());
+    }
+    perf_at.push_back(avg(gains));
+    t.add_row({std::to_string(size), TextTable::num(avg(gains), 2),
+               TextTable::num(avg(accs), 2), TextTable::num(avg(fatals), 3)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  // Shape: 256 close to the asymptote (within 1.5pp of 4096 entries).
+  footer_shape(perf_at[2] + 1.5 >= perf_at.back(),
+               "returns saturate around 256 entries — the paper's choice");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 6 — performance of the 8-8-8 scheme per SPEC Int 2000 app.
+#include "bench_util.hpp"
+
+using namespace hcsim;
+using namespace hcsim::bench;
+
+int main() {
+  header("Figure 6 - performance of the 8_8_8 scheme",
+         "+6.2% average; bzip2 worst (high copy/narrow ratio), gcc best (low)");
+
+  TextTable t({"app", "perf increase %", "copy/narrow ratio", "bar"});
+  std::vector<double> gains;
+  double bzip2_gain = 0, bzip2_ratio = 0, gcc_ratio = 0;
+  for (const std::string& app : spec_names()) {
+    const AppRun run = run_app(spec_profile(app), steering_888());
+    const double g = run.perf_increase_pct();
+    const double ratio = run.helper.to_helper
+                             ? static_cast<double>(run.helper.copies) /
+                                   static_cast<double>(run.helper.to_helper)
+                             : 0.0;
+    gains.push_back(g);
+    if (app == "bzip2") { bzip2_gain = g; bzip2_ratio = ratio; }
+    if (app == "gcc") gcc_ratio = ratio;
+    t.add_row({app, TextTable::num(g, 1), TextTable::num(ratio, 2),
+               ascii_bar(g, 25.0, 25)});
+  }
+  t.add_row({"AVG", TextTable::num(avg(gains), 1), "", ""});
+  std::printf("%s\n", t.render().c_str());
+  std::printf("bzip2 copy/narrow ratio %.2f vs gcc %.2f (the paper singles out "
+              "bzip2's very high ratio and gcc's low one)\n",
+              bzip2_ratio, gcc_ratio);
+  footer_shape(avg(gains) > 0.0 && bzip2_gain < avg(gains),
+               "positive average with bzip2 below it (copy/memory bound). "
+               "Note: our copy/narrow ratios cluster near 1.0 for all apps "
+               "(see EXPERIMENTS.md)");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Simulator micro-benchmarks (google-benchmark): trace generation rate,
+// pipeline simulation rate, and predictor lookup cost. These guard the
+// repository's own performance, not a paper figure.
+#include <benchmark/benchmark.h>
+
+#include "predict/width_predictor.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace hcsim;
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const WorkloadProfile& prof = spec_profile("gcc");
+  const u64 n = static_cast<u64>(state.range(0));
+  for (auto _ : state) {
+    Trace t = generate_trace(prof, n);
+    benchmark::DoNotOptimize(t.records.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10000)->Arg(100000);
+
+void BM_PipelineBaseline(benchmark::State& state) {
+  const Trace& t = cached_trace(spec_profile("gcc"), static_cast<u64>(state.range(0)));
+  const MachineConfig cfg = monolithic_baseline();
+  for (auto _ : state) {
+    SimResult r = simulate(cfg, t);
+    benchmark::DoNotOptimize(r.final_tick);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PipelineBaseline)->Arg(10000)->Arg(100000);
+
+void BM_PipelineHelperIr(benchmark::State& state) {
+  const Trace& t = cached_trace(spec_profile("gcc"), static_cast<u64>(state.range(0)));
+  const MachineConfig cfg = helper_machine(steering_ir());
+  for (auto _ : state) {
+    SimResult r = simulate(cfg, t);
+    benchmark::DoNotOptimize(r.final_tick);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PipelineHelperIr)->Arg(10000)->Arg(100000);
+
+void BM_WidthPredictorTrain(benchmark::State& state) {
+  WidthPredictor p;
+  u32 x = 1;
+  for (auto _ : state) {
+    x = x * 1664525u + 1013904223u;
+    p.train_result(x & 0xFFFF, (x >> 20) & 1);
+    benchmark::DoNotOptimize(p.predict_result(x & 0xFFFF));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_WidthPredictorTrain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// hcsim — shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints: (1) what the paper reports for this experiment,
+// (2) the same rows/series measured on this implementation, (3) a short
+// shape-check summary. Absolute numbers need not match the paper (our
+// substrate is a simulator, not the authors' proprietary testbed); the
+// ordering/factor structure should.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+namespace hcsim::bench {
+
+inline void header(const char* experiment, const char* paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("================================================================\n");
+}
+
+inline void footer_shape(bool ok, const std::string& what) {
+  std::printf("[shape %s] %s\n\n", ok ? "OK" : "DIVERGES", what.c_str());
+}
+
+/// Average of per-app values.
+inline double avg(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// The SPEC Int 2000 app order used by every per-app figure.
+inline const std::vector<std::string>& spec_names() {
+  static const std::vector<std::string> kNames = {
+      "bzip2", "crafty", "eon", "gap", "gcc", "gzip",
+      "mcf",   "parser", "perlbmk", "twolf", "vortex", "vpr"};
+  return kNames;
+}
+
+}  // namespace hcsim::bench

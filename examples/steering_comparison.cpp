@@ -1,0 +1,58 @@
+// hcsim example: sweep every steering configuration of the paper across the
+// SPEC Int 2000 suite and print the per-scheme summary that Section 3
+// walks through (steered%, copies%, performance increase).
+#include <cstdio>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+using namespace hcsim;
+
+int main() {
+  const std::vector<std::pair<const char*, SteeringConfig>> schemes = {
+      {"8_8_8", steering_888()},
+      {"8_8_8+BR", steering_888_br()},
+      {"8_8_8+BR+LR", steering_888_br_lr()},
+      {"8_8_8+BR+LR+CR", steering_888_br_lr_cr()},
+      {"+CP", steering_cp()},
+      {"+IR", steering_ir()},
+      {"+IR(nodest)", steering_ir_nodest()},
+      {"+IR(block)", steering_ir_block()},
+  };
+
+  TextTable table({"scheme", "steered%", "copies%", "perf+%", "fatal%", "w2n-nready%",
+                   "n2w-nready%"});
+  for (const auto& [name, cfg] : schemes) {
+    const std::vector<AppRun> runs = run_spec_suite(cfg);
+    double steered = 0, copies = 0, fatal = 0, w2n = 0, n2w = 0;
+    std::vector<double> speedups;
+    for (const AppRun& r : runs) {
+      steered += 100.0 * r.helper.helper_frac();
+      copies += 100.0 * r.helper.copy_frac();
+      fatal += 100.0 * r.helper.fatal_rate();
+      w2n += r.helper.nready_w2n_pct();
+      n2w += r.helper.nready_n2w_pct();
+      speedups.push_back(r.speedup());
+    }
+    const double n = static_cast<double>(runs.size());
+    table.add_row({name, TextTable::num(steered / n, 1), TextTable::num(copies / n, 1),
+                   TextTable::num((geomean(speedups) - 1.0) * 100.0, 1),
+                   TextTable::num(fatal / n, 2), TextTable::num(w2n / n, 1),
+                   TextTable::num(n2w / n, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Per-app detail for the full IR configuration.
+  std::printf("\nPer-app detail, +IR configuration:\n");
+  TextTable detail({"app", "base IPC", "helper IPC", "perf+%", "steered%", "copies%"});
+  for (const AppRun& r : run_spec_suite(steering_ir())) {
+    detail.add_row({r.app, TextTable::num(r.baseline.ipc, 3),
+                    TextTable::num(r.helper.ipc, 3),
+                    TextTable::num(r.perf_increase_pct(), 1),
+                    TextTable::num(100.0 * r.helper.helper_frac(), 1),
+                    TextTable::num(100.0 * r.helper.copy_frac(), 1)});
+  }
+  std::printf("%s", detail.render().c_str());
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "analysis/trace_stats.hpp"
+
+#include <array>
+
+#include "util/narrow.hpp"
+
+namespace hcsim {
+
+NarrowDependencyStats narrow_dependency_stats(const Trace& trace, unsigned width) {
+  NarrowDependencyStats s;
+  // Width of the value currently held by each GPR (producer value width).
+  std::array<bool, kNumRegs> reg_narrow{};
+  reg_narrow.fill(true);  // registers start at zero
+
+  for (const TraceRecord& rec : trace.records) {
+    const StaticUop& u = trace.uop_of(rec);
+    const OpcodeInfo& info = opcode_info(u.opcode);
+
+    unsigned reg_srcs = 0;
+    unsigned narrow_srcs = 0;
+    for (unsigned k = 0; k < kMaxSrcs; ++k) {
+      const RegId r = u.srcs[k];
+      if (r == kRegNone || !is_gpr(r)) continue;
+      ++reg_srcs;
+      const bool narrow = reg_narrow[r];
+      if (narrow) ++narrow_srcs;
+      s.operands_narrow_dependent.add(narrow);
+    }
+
+    // Section 1 operand-mix statistics over regular ALU instructions.
+    if (info.op_class == OpClass::kIntAlu && u.opcode != Opcode::kNop) {
+      unsigned total_srcs = reg_srcs + (u.has_imm ? 1u : 0u);
+      unsigned narrow_total = narrow_srcs + ((u.has_imm && is_narrow(u.imm, width)) ? 1u : 0u);
+      if (total_srcs >= 1) {
+        s.alu_one_narrow.add(narrow_total == 1);
+        if (u.has_dst()) {
+          const bool res_narrow = is_narrow(rec.result, width);
+          s.alu_two_narrow_wide_result.add(total_srcs >= 2 && narrow_total >= 2 && !res_narrow);
+          s.alu_two_narrow_narrow_result.add(total_srcs >= 2 && narrow_total >= 2 && res_narrow);
+        }
+      }
+    }
+
+    if (u.has_dst() && is_gpr(u.dst)) reg_narrow[u.dst] = is_narrow(rec.result, width);
+  }
+  return s;
+}
+
+CarryStats carry_stats(const Trace& trace, unsigned width) {
+  CarryStats s;
+  for (const TraceRecord& rec : trace.records) {
+    const StaticUop& u = trace.uop_of(rec);
+    const bool additive = u.opcode == Opcode::kAdd || u.opcode == Opcode::kSub ||
+                          u.opcode == Opcode::kLea;
+    const bool memory = is_memory(u.opcode);
+    if (!additive && !memory) continue;
+
+    // Collect source widths (registers + immediate).
+    unsigned wide = 0, narrow = 0;
+    u32 wide_val = 0;
+    for (unsigned k = 0; k < kMaxSrcs; ++k) {
+      const RegId r = u.srcs[k];
+      if (r == kRegNone || !is_gpr(r)) continue;
+      if (memory && k == 2) continue;  // store data is not an address source
+      if (is_narrow(rec.src_vals[k], width)) {
+        ++narrow;
+      } else {
+        ++wide;
+        wide_val = rec.src_vals[k];
+      }
+    }
+    if (u.has_imm) {
+      if (is_narrow(u.imm, width)) ++narrow;
+      else { ++wide; wide_val = u.imm; }
+    }
+    // The 8-32-32 pattern: one wide source, at least one narrow source,
+    // wide output (result or effective address).
+    const u32 output = memory ? rec.mem_addr : rec.result;
+    if (wide != 1 || narrow == 0) continue;
+    if (!memory && (!u.has_dst() || is_narrow(rec.result, width))) continue;
+
+    const bool confined = upper_bits_match(wide_val, output, width);
+    if (memory)
+      s.load_confined.add(confined);
+    else
+      s.arith_confined.add(confined);
+  }
+  return s;
+}
+
+DistanceStats producer_consumer_distance(const Trace& trace) {
+  DistanceStats s;
+  std::array<u64, kNumRegs> producer_idx{};
+  std::array<bool, kNumRegs> live{};
+  std::array<bool, kNumRegs> consumed{};
+  producer_idx.fill(0);
+  live.fill(false);
+  consumed.fill(false);
+
+  u64 idx = 0;
+  for (const TraceRecord& rec : trace.records) {
+    const StaticUop& u = trace.uop_of(rec);
+    for (unsigned k = 0; k < kMaxSrcs; ++k) {
+      const RegId r = u.srcs[k];
+      if (r == kRegNone) continue;
+      if (live[r] && !consumed[r]) {
+        s.distance.add(idx - producer_idx[r]);
+        consumed[r] = true;  // first consumer only
+      }
+    }
+    if (u.has_dst()) {
+      producer_idx[u.dst] = idx;
+      live[u.dst] = true;
+      consumed[u.dst] = false;
+    }
+    if (u.writes_flags()) {
+      producer_idx[kRegFlags] = idx;
+      live[kRegFlags] = true;
+      consumed[kRegFlags] = false;
+    }
+    ++idx;
+  }
+  return s;
+}
+
+}  // namespace hcsim

@@ -1,0 +1,46 @@
+// hcsim — trace analytics backing Figures 1, 11 and 13 and the Section 1
+// operand-mix statistics.
+//
+// These are pure functions over a value-accurate trace: they implement the
+// paper's *measurement definitions* (narrow data-width dependency, the
+// 8-32-32 carry-confinement rate, producer-consumer distance) independent of
+// any pipeline modeling.
+#pragma once
+
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace hcsim {
+
+/// Figure 1: a consumer operand is narrow data-width *dependent* when the
+/// producer's value is narrow. Reported as the fraction of register source
+/// operands (GPRs; flags and FP excluded) whose current producer value is
+/// narrow.
+struct NarrowDependencyStats {
+  Ratio operands_narrow_dependent;  // Figure 1 bar per app
+  // Section 1 text: regular ALU instruction operand mix.
+  Ratio alu_one_narrow;             // exactly one narrow source
+  Ratio alu_two_narrow_wide_result;
+  Ratio alu_two_narrow_narrow_result;
+};
+NarrowDependencyStats narrow_dependency_stats(const Trace& trace,
+                                              unsigned width = 8);
+
+/// Figure 11: among µops with one narrow (8-bit) and one wide (32-bit)
+/// source and a wide result, the fraction whose carry does not propagate
+/// past the low byte — split into loads and additive arithmetic.
+struct CarryStats {
+  Ratio load_confined;
+  Ratio arith_confined;
+};
+CarryStats carry_stats(const Trace& trace, unsigned width = 8);
+
+/// Figure 13: average distance, in dynamic instructions, between a value
+/// producer and its first consumer.
+struct DistanceStats {
+  Histogram distance{128};
+  double mean() const { return distance.mean(); }
+};
+DistanceStats producer_consumer_distance(const Trace& trace);
+
+}  // namespace hcsim

@@ -1,0 +1,17 @@
+#include "core/machine_config.hpp"
+
+namespace hcsim {
+
+MachineConfig monolithic_baseline() {
+  MachineConfig cfg;
+  cfg.steer = steering_baseline();
+  return cfg;
+}
+
+MachineConfig helper_machine(const SteeringConfig& steer) {
+  MachineConfig cfg;
+  cfg.steer = steer;
+  return cfg;
+}
+
+}  // namespace hcsim

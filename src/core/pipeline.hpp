@@ -1,0 +1,124 @@
+// hcsim — the clustered out-of-order pipeline model.
+//
+// A program-order resource model of the Figure 2 machine: a shared frontend
+// (fetch from the trace cache, decode/split, rename/steer, dispatch) feeding
+// a 32-bit wide backend (integer + FP schedulers) and an optional 8-bit
+// helper backend clocked `ticks_per_wide_cycle`x faster. µops are processed
+// in program order; out-of-order issue is modeled by per-cluster issue-slot
+// ledgers, issue-queue occupancy tracking, dependence-driven ready times,
+// a shared MOB + two-level cache hierarchy, inter-cluster copy µops, branch
+// misprediction redirects, and flush-based width-misprediction recovery.
+//
+// Global time advances in ticks: one tick = one helper-cluster cycle; the
+// frontend, wide backend, caches and commit operate every
+// `ticks_per_wide_cycle` ticks (Section 2.2's synchronized 2x clocking).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/machine_config.hpp"
+#include "core/sim_result.hpp"
+#include "util/slot_schedule.hpp"
+#include "mem/memory_system.hpp"
+#include "predict/branch_predictor.hpp"
+#include "predict/width_predictor.hpp"
+#include "steer/steering.hpp"
+#include "trace/trace.hpp"
+
+namespace hcsim {
+
+class Pipeline {
+ public:
+  Pipeline(const MachineConfig& cfg, const Trace& trace);
+  ~Pipeline();
+
+  /// Simulate the whole trace and return the collected statistics.
+  SimResult run();
+
+ private:
+  struct RegState;
+  struct CpTrainEntry;
+
+  // Cluster index helpers: 0 = wide int, 1 = helper, 2 = wide FP.
+  static constexpr unsigned kWideIdx = 0;
+  static constexpr unsigned kHelperIdx = 1;
+  static constexpr unsigned kFpIdx = 2;
+  static constexpr unsigned kNumBackends = 3;
+
+  Tick wide_ticks() const { return cfg_.ticks_per_wide_cycle; }
+  Tick cycle_ticks(unsigned cluster) const {
+    return cluster == kHelperIdx ? 1 : wide_ticks();
+  }
+
+  /// Value availability of register `r` in `cluster`, generating a demand
+  /// copy µop if the value lives only in the other cluster. Returns the tick
+  /// the value becomes readable there.
+  Tick acquire_value(RegId r, unsigned cluster, Tick dispatch_tick);
+
+  /// Schedule one copy µop from `from` cluster to `to` cluster for a value
+  /// that becomes available in `from` at `value_ready`. Returns availability
+  /// tick in `to`.
+  Tick schedule_copy(unsigned from, unsigned to, Tick request_tick, Tick value_ready);
+
+  /// CP: producer-side copy prefetch at writeback (Section 3.6).
+  void maybe_copy_prefetch(RegId dst, u32 pc, unsigned cluster, Tick complete);
+
+  /// Memory access path shared by loads and stores.
+  Tick memory_access(SeqNum seq, u32 addr, bool is_store, bool is_load_byte,
+                     Tick agu_done);
+
+  /// NREADY imbalance accounting for a µop that waited to issue.
+  void account_nready(unsigned cluster, bool eligible_other, Tick ready, Tick issue);
+
+  void train_cp_window(SeqNum upto_seq);
+
+  const MachineConfig cfg_;
+  const Trace& trace_;
+  SteeringPolicy policy_;
+
+  WidthPredictor wpred_;
+  BranchPredictor bpred_;
+  MemorySystem memsys_;
+  Mob mob_;
+
+  // Frontend / commit schedules (wide clock domain).
+  SlotSchedule fetch_slots_;
+  SlotSchedule rename_slots_;
+  SlotSchedule commit_slots_;
+  // Backend issue slots and queue occupancy.
+  std::array<std::unique_ptr<SlotSchedule>, kNumBackends> issue_slots_;
+  std::array<std::unique_ptr<QueueTracker>, kNumBackends> queues_;
+  // Dedicated copy-µop scheduling resources per integer cluster (Section 4:
+  // the copy scheme "requires its own scheduling resources").
+  std::array<std::unique_ptr<SlotSchedule>, kNumIntClusters> copy_slots_;
+
+  // Architectural register location/width state (program-order view).
+  std::unique_ptr<std::array<RegState, kNumRegs>> regs_;
+
+  // ROB occupancy: commit ticks of the last rob_entries µops.
+  std::vector<Tick> rob_commit_;
+
+  // CP training window (producers awaiting "did it incur a copy?").
+  std::vector<CpTrainEntry> cp_window_;
+
+  /// Block-granularity IR (the Section 3.7 extension): while positive,
+  /// splittable µops join the current helper block without re-consulting
+  /// the imbalance trigger.
+  unsigned block_split_remaining_ = 0;
+
+  Tick fetch_barrier_ = 0;     // redirect/flush refill point
+  Tick last_commit_ = 0;
+  /// In-order dispatch backpressure: when a µop (or one of its copies)
+  /// stalls on a full issue queue, younger µops cannot dispatch earlier.
+  Tick dispatch_backpressure_ = 0;
+  SeqNum next_seq_ = 0;
+
+  SimResult res_;
+};
+
+/// Convenience wrapper: build a pipeline and run the trace.
+SimResult simulate(const MachineConfig& cfg, const Trace& trace);
+
+}  // namespace hcsim

@@ -1,0 +1,51 @@
+#include "isa/opcode.hpp"
+
+#include <array>
+
+#include "util/log.hpp"
+
+namespace hcsim {
+namespace {
+
+// Latencies follow the Table 1 machine: 1-cycle ALU, 3-cycle DL0 load-use
+// handled by the memory system (the kMem latency here is AGU only), long
+// latency mul/div, classic FP latencies.
+constexpr std::array<OpcodeInfo, kNumOpcodes> kOpcodeTable = {{
+    //                 mnemonic      class            lat  wF     rF     helper width
+    /* kNop       */ {"nop",        OpClass::kIntAlu, 1, false, false, true,  false},
+    /* kAdd       */ {"add",        OpClass::kIntAlu, 1, true,  false, true,  true},
+    /* kSub       */ {"sub",        OpClass::kIntAlu, 1, true,  false, true,  true},
+    /* kAnd       */ {"and",        OpClass::kIntAlu, 1, true,  false, true,  true},
+    /* kOr        */ {"or",         OpClass::kIntAlu, 1, true,  false, true,  true},
+    /* kXor       */ {"xor",        OpClass::kIntAlu, 1, true,  false, true,  true},
+    /* kShl       */ {"shl",        OpClass::kIntAlu, 1, true,  false, true,  true},
+    /* kShr       */ {"shr",        OpClass::kIntAlu, 1, true,  false, true,  true},
+    /* kMov       */ {"mov",        OpClass::kIntAlu, 1, false, false, true,  true},
+    /* kMovImm    */ {"movi",       OpClass::kIntAlu, 1, false, false, true,  true},
+    /* kCmp       */ {"cmp",        OpClass::kIntAlu, 1, true,  false, true,  false},
+    /* kTest      */ {"test",       OpClass::kIntAlu, 1, true,  false, true,  false},
+    /* kMul       */ {"mul",        OpClass::kIntMul, 4, true,  false, false, true},
+    /* kDiv       */ {"div",        OpClass::kIntDiv, 20, true, false, false, true},
+    /* kLoad      */ {"ld",         OpClass::kMem,    1, false, false, true,  true},
+    /* kLoadByte  */ {"ldb",        OpClass::kMem,    1, false, false, true,  true},
+    /* kStore     */ {"st",         OpClass::kMem,    1, false, false, true,  false},
+    /* kStoreByte */ {"stb",        OpClass::kMem,    1, false, false, true,  false},
+    /* kLea       */ {"lea",        OpClass::kIntAlu, 1, false, false, true,  true},
+    /* kBranchCond*/ {"jcc",        OpClass::kBranch, 1, false, true,  true,  false},
+    /* kJump      */ {"jmp",        OpClass::kBranch, 1, false, false, true,  false},
+    /* kFpAdd     */ {"fadd",       OpClass::kFpAdd,  3, false, false, false, false},
+    /* kFpMul     */ {"fmul",       OpClass::kFpMul,  5, false, false, false, false},
+    /* kFpDiv     */ {"fdiv",       OpClass::kFpDiv,  20, false, false, false, false},
+    /* kCopy      */ {"copy",       OpClass::kCopy,   1, false, false, true,  false},
+    /* kChunkAlu  */ {"chunk",      OpClass::kIntAlu, 1, true,  false, true,  false},
+}};
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  const auto idx = static_cast<unsigned>(op);
+  HCSIM_CHECK(idx < kNumOpcodes, "opcode out of range");
+  return kOpcodeTable[idx];
+}
+
+}  // namespace hcsim

@@ -1,0 +1,99 @@
+// hcsim — µop opcodes and their static execution properties.
+#pragma once
+
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace hcsim {
+
+/// Concrete µop opcodes. This is the internal (post-crack) instruction set;
+/// kCopy and kChunk* exist only inside the pipeline (inter-cluster copies
+/// and IR split products) but are given opcodes so traces, disassembly and
+/// statistics treat them uniformly.
+enum class Opcode : u8 {
+  kNop = 0,
+  // Integer ALU, register/immediate forms.
+  kAdd, kSub, kAnd, kOr, kXor, kShl, kShr, kMov, kMovImm,
+  // Flag-writing compare class (no destination register — IR-nodest splits these).
+  kCmp, kTest,
+  // Long-latency integer (wide cluster only; ineligible for CR, Section 3.5).
+  kMul, kDiv,
+  // Memory.
+  kLoad, kLoadByte, kStore, kStoreByte, kLea,
+  // Control.
+  kBranchCond, kJump,
+  // Floating point (wide cluster only).
+  kFpAdd, kFpMul, kFpDiv,
+  // Pipeline-internal.
+  kCopy,      // inter-cluster register copy (Canal/Parcerisa/González scheme)
+  kChunkAlu,  // 8-bit chunk of a split 32-bit ALU µop (IR, Section 3.7)
+  kCount
+};
+
+inline constexpr unsigned kNumOpcodes = static_cast<unsigned>(Opcode::kCount);
+
+/// Coarse functional-unit class used by the schedulers.
+enum class OpClass : u8 {
+  kIntAlu,   // 1-cycle integer
+  kIntMul,   // pipelined long latency
+  kIntDiv,   // unpipelined long latency
+  kMem,      // AGU + cache access
+  kBranch,   // flag check + (possibly front-end-resolved) target
+  kFpAdd,
+  kFpMul,
+  kFpDiv,
+  kCopy,
+  kCount
+};
+
+struct OpcodeInfo {
+  std::string_view mnemonic;
+  OpClass op_class;
+  /// Execution latency in *wide-cluster cycles* on a 32-bit backend.
+  u8 latency_wide;
+  /// Whether the µop writes the flags register.
+  bool writes_flags;
+  /// Whether the µop reads the flags register.
+  bool reads_flags;
+  /// Whether the op class exists in the helper cluster at all (the helper
+  /// has integer ALUs/AGUs only, Section 2.1).
+  bool helper_capable;
+  /// Whether the result width is data dependent (vs. always wide, e.g. LEA
+  /// of a pointer is usually wide but still data dependent; FP is not
+  /// tracked by the width machinery at all).
+  bool width_tracked;
+};
+
+const OpcodeInfo& opcode_info(Opcode op);
+
+/// Branch condition codes carried in StaticUop::imm for kBranchCond.
+/// Conditions are evaluated against the flags register, whose value is the
+/// raw result of the last flag-writing µop (cmp stores a-b, test stores a&b).
+inline constexpr u32 kCondEq = 0;  // flags == 0
+inline constexpr u32 kCondNe = 1;  // flags != 0
+inline constexpr u32 kCondLt = 2;  // flags sign bit set
+inline constexpr u32 kCondGe = 3;  // flags sign bit clear
+
+/// Evaluate a condition code against a flags value.
+constexpr bool eval_cond(u32 cond, u32 flags) {
+  switch (cond) {
+    case kCondEq: return flags == 0;
+    case kCondNe: return flags != 0;
+    case kCondLt: return (flags >> 31) != 0;
+    default: return (flags >> 31) == 0;
+  }
+}
+
+constexpr bool is_memory(Opcode op) {
+  return op == Opcode::kLoad || op == Opcode::kLoadByte || op == Opcode::kStore ||
+         op == Opcode::kStoreByte;
+}
+constexpr bool is_load(Opcode op) { return op == Opcode::kLoad || op == Opcode::kLoadByte; }
+constexpr bool is_store(Opcode op) { return op == Opcode::kStore || op == Opcode::kStoreByte; }
+constexpr bool is_branch(Opcode op) { return op == Opcode::kBranchCond || op == Opcode::kJump; }
+constexpr bool is_fp(Opcode op) {
+  return op == Opcode::kFpAdd || op == Opcode::kFpMul || op == Opcode::kFpDiv;
+}
+
+}  // namespace hcsim

@@ -1,0 +1,18 @@
+#include "isa/reg.hpp"
+
+namespace hcsim {
+
+std::string_view reg_name(RegId r) {
+  static constexpr std::string_view kGpr[] = {"eax", "ebx", "ecx", "edx",
+                                              "esi", "edi", "ebp", "esp",
+                                              "t0",  "t1",  "t2",  "t3",
+                                              "t4",  "t5",  "t6",  "t7"};
+  static constexpr std::string_view kFp[] = {"f0", "f1", "f2", "f3",
+                                             "f4", "f5", "f6", "f7"};
+  if (is_gpr(r)) return kGpr[r];
+  if (is_flags(r)) return "flags";
+  if (is_fp(r)) return kFp[r - kRegF0];
+  return "r?";
+}
+
+}  // namespace hcsim

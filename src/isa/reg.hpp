@@ -1,0 +1,55 @@
+// hcsim — architectural register namespace of the modeled IA-32-like
+// µop machine.
+//
+// The frontend cracks IA-32 instructions into µops that operate on the
+// 8 architectural GPRs, a handful of internal temporaries (the paper notes
+// the IA-32 internal machine state allows more than 2 inputs), the flags
+// register (written by arithmetic µops, read by conditional branches), and
+// 8 FP stack registers.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace hcsim {
+
+using RegId = u8;
+
+// General-purpose architectural registers (IA-32 names).
+inline constexpr RegId kRegEax = 0;
+inline constexpr RegId kRegEbx = 1;
+inline constexpr RegId kRegEcx = 2;
+inline constexpr RegId kRegEdx = 3;
+inline constexpr RegId kRegEsi = 4;
+inline constexpr RegId kRegEdi = 5;
+inline constexpr RegId kRegEbp = 6;
+inline constexpr RegId kRegEsp = 7;
+// Internal µop temporaries (cracked-instruction intermediate state).
+inline constexpr RegId kRegT0 = 8;
+inline constexpr RegId kRegT1 = 9;
+inline constexpr RegId kRegT2 = 10;
+inline constexpr RegId kRegT3 = 11;
+inline constexpr RegId kRegT4 = 12;
+inline constexpr RegId kRegT5 = 13;
+inline constexpr RegId kRegT6 = 14;
+inline constexpr RegId kRegT7 = 15;
+inline constexpr unsigned kNumIntRegs = 16;
+// Flags register: carries the condition codes between an arithmetic µop and
+// a dependent conditional branch (the BR scheme keys on this dependency).
+inline constexpr RegId kRegFlags = 16;
+// FP stack registers (wide cluster only).
+inline constexpr RegId kRegF0 = 17;
+inline constexpr unsigned kNumFpRegs = 8;
+inline constexpr unsigned kNumRegs = 17 + kNumFpRegs;  // GPRs + flags + FP
+
+inline constexpr RegId kRegNone = 0xFF;
+
+constexpr bool is_gpr(RegId r) { return r < kNumIntRegs; }
+constexpr bool is_flags(RegId r) { return r == kRegFlags; }
+constexpr bool is_fp(RegId r) { return r >= kRegF0 && r < kRegF0 + kNumFpRegs; }
+
+std::string_view reg_name(RegId r);
+
+}  // namespace hcsim

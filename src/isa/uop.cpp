@@ -1,0 +1,31 @@
+#include "isa/uop.hpp"
+
+#include <sstream>
+
+namespace hcsim {
+
+std::string disassemble(const StaticUop& uop) {
+  std::ostringstream os;
+  os << opcode_info(uop.opcode).mnemonic;
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? " " : ", ");
+    first = false;
+  };
+  if (uop.has_dst()) {
+    sep();
+    os << reg_name(uop.dst);
+  }
+  for (RegId s : uop.srcs) {
+    if (s == kRegNone) continue;
+    sep();
+    os << reg_name(s);
+  }
+  if (uop.has_imm) {
+    sep();
+    os << "#" << static_cast<i32>(uop.imm);
+  }
+  return os.str();
+}
+
+}  // namespace hcsim

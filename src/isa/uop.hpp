@@ -1,0 +1,43 @@
+// hcsim — static µop encoding shared by the workload generator, the traces
+// and the pipeline.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "isa/opcode.hpp"
+#include "isa/reg.hpp"
+#include "util/types.hpp"
+
+namespace hcsim {
+
+/// Maximum register sources a µop may carry. IA-32 µops can have more than
+/// two inputs (Section 3.2 remarks on this); three covers base+index+data
+/// for stores and flag-reading ops.
+inline constexpr unsigned kMaxSrcs = 3;
+
+/// A *static* µop as emitted by the program generator / decoder: opcode,
+/// register operands and an optional immediate. Dynamic instances reference
+/// a StaticUop by its `pc`.
+struct StaticUop {
+  u32 pc = 0;                 // static µop address (unique per static uop)
+  Opcode opcode = Opcode::kNop;
+  RegId dst = kRegNone;       // destination register (kRegNone if none)
+  std::array<RegId, kMaxSrcs> srcs = {kRegNone, kRegNone, kRegNone};
+  bool has_imm = false;
+  u32 imm = 0;
+
+  unsigned num_srcs() const {
+    unsigned n = 0;
+    for (RegId s : srcs) n += (s != kRegNone) ? 1 : 0;
+    return n;
+  }
+  bool has_dst() const { return dst != kRegNone; }
+  bool writes_flags() const { return opcode_info(opcode).writes_flags; }
+  bool reads_flags() const { return opcode_info(opcode).reads_flags; }
+};
+
+/// Human-readable rendering, e.g. "add eax, ebx, #4".
+std::string disassemble(const StaticUop& uop);
+
+}  // namespace hcsim

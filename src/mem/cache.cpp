@@ -1,0 +1,64 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+
+#include "util/log.hpp"
+
+namespace hcsim {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  HCSIM_CHECK(cfg_.line_bytes > 0 && std::has_single_bit(cfg_.line_bytes),
+              "cache line size must be a power of two");
+  HCSIM_CHECK(cfg_.ways > 0, "cache must have at least one way");
+  const u32 lines_total = cfg_.size_bytes / cfg_.line_bytes;
+  HCSIM_CHECK(lines_total >= cfg_.ways, "cache smaller than one set");
+  num_sets_ = lines_total / cfg_.ways;
+  HCSIM_CHECK(std::has_single_bit(num_sets_), "number of sets must be a power of two");
+  lines_.assign(static_cast<std::size_t>(num_sets_) * cfg_.ways, Line{});
+}
+
+bool Cache::access(u32 addr) {
+  const u32 set = set_of(addr);
+  const u32 tag = tag_of(addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  ++access_clock_;
+
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = access_clock_;
+      hits_.add(true);
+      return true;
+    }
+  }
+  // Miss: fill into an invalid way if any, else evict the LRU way.
+  Line* victim = base;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = access_clock_;
+  hits_.add(false);
+  return false;
+}
+
+bool Cache::probe(u32 addr) const {
+  const u32 set = set_of(addr);
+  const u32 tag = tag_of(addr);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (u32 w = 0; w < cfg_.ways; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+void Cache::invalidate_all() {
+  for (Line& l : lines_) l = Line{};
+}
+
+}  // namespace hcsim

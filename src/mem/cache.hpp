@@ -1,0 +1,58 @@
+// hcsim — set-associative cache timing model.
+//
+// Timing only: the simulator's data values come from the trace, so caches
+// track presence (tags + LRU) and charge latencies, which is exactly what a
+// trace-driven performance model needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace hcsim {
+
+struct CacheConfig {
+  std::string name = "cache";
+  u32 size_bytes = 32 * 1024;
+  u32 line_bytes = 64;
+  u32 ways = 8;
+  u32 latency_cycles = 3;  // hit latency in wide cycles
+  u32 ports = 2;           // accesses per wide cycle
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Probe + allocate-on-miss. Returns true on hit.
+  bool access(u32 addr);
+
+  /// Probe without allocation.
+  bool probe(u32 addr) const;
+
+  void invalidate_all();
+
+  const CacheConfig& config() const { return cfg_; }
+  const Ratio& hit_ratio() const { return hits_; }
+  u64 accesses() const { return hits_.den; }
+
+ private:
+  struct Line {
+    u32 tag = 0;
+    bool valid = false;
+    u64 lru = 0;
+  };
+
+  u32 set_of(u32 addr) const { return (addr / cfg_.line_bytes) & (num_sets_ - 1); }
+  u32 tag_of(u32 addr) const { return addr / cfg_.line_bytes / num_sets_; }
+
+  CacheConfig cfg_;
+  u32 num_sets_;
+  std::vector<Line> lines_;  // num_sets_ * ways, row-major by set
+  u64 access_clock_ = 0;
+  Ratio hits_;
+};
+
+}  // namespace hcsim

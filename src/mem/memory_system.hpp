@@ -1,0 +1,77 @@
+// hcsim — two-level memory hierarchy + memory order buffer.
+//
+// Models the Table 1 hierarchy: DL0 32KB/8-way/3-cycle/2 ports,
+// UL1 4MB/16-way/13-cycle/1 port, 450-cycle main memory. Port contention is
+// modeled by per-level "next free slot" bookkeeping at wide-cycle
+// granularity. The MOB is shared by both clusters (Section 3.4: "there is a
+// single Memory Order Buffer"), which is what makes load replication legal.
+#pragma once
+
+#include <deque>
+
+#include "util/slot_schedule.hpp"
+#include "mem/cache.hpp"
+#include "util/types.hpp"
+
+namespace hcsim {
+
+struct MemoryConfig {
+  CacheConfig dl0{"DL0", 32 * 1024, 64, 8, 3, 2};
+  CacheConfig ul1{"UL1", 4 * 1024 * 1024, 64, 16, 13, 1};
+  u32 main_memory_cycles = 450;
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemoryConfig& cfg);
+
+  /// Schedule a data access whose address generation finished at wide cycle
+  /// `agu_done`. Returns the wide cycle at which the data is available.
+  /// Caches are pipelined: a port is occupied for one cycle per access while
+  /// the access latency overlaps with younger accesses.
+  u64 access(u64 agu_done_cycle, u32 addr, bool is_store);
+
+  const Cache& dl0() const { return dl0_; }
+  const Cache& ul1() const { return ul1_; }
+  const MemoryConfig& config() const { return cfg_; }
+
+ private:
+  MemoryConfig cfg_;
+  Cache dl0_;
+  Cache ul1_;
+  SlotSchedule dl0_ports_;  // ports per wide cycle (pipelined)
+  SlotSchedule ul1_ports_;
+};
+
+/// Memory order buffer: tracks in-flight stores so loads can forward from
+/// or wait on older same-address stores. Entries are keyed by the dynamic
+/// sequence number assigned at dispatch; both clusters share this structure.
+class Mob {
+ public:
+  void add_store(SeqNum seq, u32 addr, u64 data_ready_cycle);
+  void store_retired(SeqNum seq);
+
+  /// Result of a load disambiguation probe.
+  struct LoadCheck {
+    bool forwarded = false;    // an older store supplies the data
+    u64 ready_cycle = 0;       // when the forwarded data is available
+  };
+
+  /// Check a load at sequence `seq`, address `addr`, against older stores.
+  LoadCheck check_load(SeqNum seq, u32 addr) const;
+
+  /// Squash all stores younger than or equal to `seq` (pipeline flush).
+  void squash_from(SeqNum seq);
+
+  std::size_t size() const { return stores_.size(); }
+
+ private:
+  struct StoreEntry {
+    SeqNum seq;
+    u32 addr;
+    u64 data_ready_cycle;
+  };
+  std::deque<StoreEntry> stores_;  // ordered by seq
+};
+
+}  // namespace hcsim

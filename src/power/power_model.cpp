@@ -1,0 +1,60 @@
+#include "power/power_model.hpp"
+
+namespace hcsim {
+
+PowerReport analyze_power(const SimResult& r, const MachineConfig& cfg,
+                          const EnergyParams& p) {
+  PowerReport rep;
+  const auto cnt = [&](const char* name) {
+    return static_cast<double>(r.counters.get(name));
+  };
+  const double helper_scale = p.helper_width_ratio + p.helper_fixed_overhead;
+
+  // Frontend: every fetched µop flows through fetch/rename/ROB; copies and
+  // chunks consume rename bandwidth too.
+  const double uops = static_cast<double>(r.uops);
+  rep.frontend = uops * (p.fetch + p.rename + p.rob) +
+                 (cnt("copy_rename_slots") + cnt("chunk_rename_slots")) * p.rename;
+
+  // Wide backend: integer + FP issue, RF and ALU activity.
+  const double wide_issues = cnt("issue_wide");
+  const double fp_issues = cnt("issue_fp");
+  rep.wide_backend = wide_issues * (p.iq_wide + p.alu_wide + 2.0 * p.rf_wide) +
+                     fp_issues * (p.iq_wide + p.fp_unit + 2.0 * p.rf_wide) +
+                     cnt("rf_write_wide") * p.rf_wide;
+
+  // Helper backend: same structures scaled by datapath width.
+  const double helper_issues = cnt("issue_helper");
+  rep.helper_backend =
+      helper_issues * (p.iq_wide + p.alu_wide + 2.0 * p.rf_wide) * helper_scale +
+      cnt("rf_write_helper") * p.rf_wide * helper_scale;
+
+  // Memory hierarchy.
+  rep.memory = cnt("dl0_accesses") * p.dl0 + cnt("ul1_accesses") * p.ul1;
+
+  // Inter-cluster traffic.
+  rep.copies = static_cast<double>(r.copies) * p.copy;
+
+  // Predictors (width predictor lookups + branch predictor, folded).
+  rep.predictors = cnt("wpred_lookups") * p.wpred +
+                   static_cast<double>(r.branches) * p.wpred;
+
+  // Clock networks: the wide domain always runs; the helper domain adds its
+  // fast-clock tree whenever the helper cluster exists.
+  const double wide_cycles = r.wide_cycles;
+  rep.clock = wide_cycles * p.clock_wide_per_cycle;
+  if (cfg.steer.helper_enabled) {
+    const double helper_cycles =
+        wide_cycles * static_cast<double>(cfg.ticks_per_wide_cycle);
+    rep.clock += helper_cycles * p.clock_helper_per_cycle;
+  }
+
+  rep.energy = rep.frontend + rep.wide_backend + rep.helper_backend + rep.memory +
+               rep.copies + rep.predictors + rep.clock;
+  rep.delay = wide_cycles;
+  rep.edp = rep.energy * rep.delay;
+  rep.ed2p = rep.energy * rep.delay * rep.delay;
+  return rep;
+}
+
+}  // namespace hcsim

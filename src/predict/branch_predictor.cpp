@@ -1,0 +1,27 @@
+#include "predict/branch_predictor.hpp"
+
+#include <bit>
+
+#include "util/log.hpp"
+
+namespace hcsim {
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig& cfg) : cfg_(cfg) {
+  HCSIM_CHECK(cfg_.entries > 0 && std::has_single_bit(cfg_.entries),
+              "branch predictor table size must be a power of two");
+  mask_ = cfg_.entries - 1;
+  history_mask_ = (cfg_.history_bits >= 32) ? ~0u : ((1u << cfg_.history_bits) - 1u);
+  counters_.assign(cfg_.entries, 1);  // weakly not-taken
+}
+
+bool BranchPredictor::predict(u32 pc) const { return counters_[index(pc)] >= 2; }
+
+void BranchPredictor::update(u32 pc, bool taken) {
+  u8& c = counters_[index(pc)];
+  acc_.add((c >= 2) == taken);
+  if (taken && c < 3) ++c;
+  if (!taken && c > 0) --c;
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+}
+
+}  // namespace hcsim

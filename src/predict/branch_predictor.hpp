@@ -1,0 +1,41 @@
+// hcsim — gshare conditional branch predictor.
+//
+// The paper's trace-driven methodology resolves branch *targets* from the
+// trace; the direction predictor determines when the frontend fetches down
+// the wrong path and pays a flush penalty. A standard gshare keeps the
+// baseline pipeline honest without introducing steering-specific effects.
+#pragma once
+
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace hcsim {
+
+struct BranchPredictorConfig {
+  u32 entries = 4096;      // 2-bit counters
+  u32 history_bits = 12;
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorConfig& cfg = {});
+
+  bool predict(u32 pc) const;
+  void update(u32 pc, bool taken);
+
+  const Ratio& accuracy() const { return acc_; }
+
+ private:
+  u32 index(u32 pc) const { return (pc ^ history_) & mask_; }
+
+  BranchPredictorConfig cfg_;
+  u32 mask_;
+  u32 history_mask_;
+  u32 history_ = 0;
+  std::vector<u8> counters_;  // 2-bit saturating, init weakly-not-taken
+  Ratio acc_;
+};
+
+}  // namespace hcsim

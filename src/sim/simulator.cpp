@@ -1,0 +1,88 @@
+#include "sim/simulator.hpp"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace hcsim {
+
+u64 default_trace_len() {
+  static const u64 kLen = env_u64("HCSIM_TRACE_LEN", 300000);
+  return kLen;
+}
+
+const Trace& cached_trace(const WorkloadProfile& profile, u64 n_records) {
+  using Key = std::tuple<std::string, u64, u64>;
+  static std::map<Key, Trace> cache;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  const Key key{profile.name, profile.seed, n_records};
+  auto it = cache.find(key);
+  if (it == cache.end())
+    it = cache.emplace(key, generate_trace(profile, n_records)).first;
+  return it->second;
+}
+
+AppRun run_app(const WorkloadProfile& profile, const SteeringConfig& steer,
+               u64 n_records) {
+  if (n_records == 0) n_records = default_trace_len();
+  const Trace& trace = cached_trace(profile, n_records);
+  AppRun run;
+  run.app = profile.name;
+  run.baseline = simulate(monolithic_baseline(), trace);
+  run.helper = simulate(helper_machine(steer), trace);
+  return run;
+}
+
+MultiRun run_app_configs(const WorkloadProfile& profile,
+                         std::span<const SteeringConfig> configs, u64 n_records) {
+  if (n_records == 0) n_records = default_trace_len();
+  const Trace& trace = cached_trace(profile, n_records);
+  MultiRun run;
+  run.app = profile.name;
+  run.baseline = simulate(monolithic_baseline(), trace);
+  run.configs.reserve(configs.size());
+  for (const SteeringConfig& sc : configs)
+    run.configs.push_back(simulate(helper_machine(sc), trace));
+  return run;
+}
+
+std::vector<AppRun> run_spec_suite(const SteeringConfig& steer, u64 n_records) {
+  std::vector<AppRun> runs;
+  for (const WorkloadProfile& p : spec_int_2000_profiles())
+    runs.push_back(run_app(p, steer, n_records));
+  return runs;
+}
+
+std::string describe_machine(const MachineConfig& cfg) {
+  std::ostringstream os;
+  os << "Machine configuration (Table 1 baseline";
+  if (cfg.steer.helper_enabled) os << " + helper cluster";
+  os << ")\n";
+  os << "  Trace Cache fetch width : " << cfg.fetch_width << " uops/cycle\n";
+  os << "  Rename / commit width   : " << cfg.rename_width << " / " << cfg.commit_width
+     << "\n";
+  os << "  ROB entries             : " << cfg.rob_entries << "\n";
+  os << "  Int execution           : " << cfg.iq_wide << " entry scheduler, "
+     << cfg.issue_wide << " issue\n";
+  os << "  Fp execution            : " << cfg.iq_fp << " entry scheduler, "
+     << cfg.issue_fp << " issue\n";
+  if (cfg.steer.helper_enabled) {
+    os << "  Helper cluster          : " << cfg.helper_width_bits << "-bit, "
+       << cfg.iq_helper << " entry scheduler, " << cfg.issue_helper << " issue, "
+       << cfg.ticks_per_wide_cycle << "x clock\n";
+    os << "  Steering                : " << cfg.steer.describe() << "\n";
+  }
+  os << "  DL0                     : " << cfg.mem.dl0.size_bytes / 1024 << "KB, "
+     << cfg.mem.dl0.ways << "w, " << cfg.mem.dl0.latency_cycles << " cycle, "
+     << cfg.mem.dl0.ports << " R/W port\n";
+  os << "  UL1                     : " << cfg.mem.ul1.size_bytes / (1024 * 1024)
+     << "MB, " << cfg.mem.ul1.ways << "w, " << cfg.mem.ul1.latency_cycles
+     << " cycle, " << cfg.mem.ul1.ports << " R/W port\n";
+  os << "  Main memory             : " << cfg.mem.main_memory_cycles << " cycles\n";
+  return os.str();
+}
+
+}  // namespace hcsim

@@ -1,0 +1,59 @@
+// hcsim — top-level simulation facade shared by examples, benches and tests.
+//
+// Wraps workload generation, trace caching (traces are deterministic, so one
+// process-wide cache serves every experiment), and the
+// baseline-vs-helper-cluster comparison that every figure reports.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "wload/executor.hpp"
+#include "wload/profile.hpp"
+
+namespace hcsim {
+
+/// Default dynamic trace length for experiments. The paper simulates 100M
+/// instructions per trace; shapes here are stable beyond ~200k µops, so the
+/// default is CI-friendly and the HCSIM_TRACE_LEN environment variable
+/// scales it up for higher-fidelity runs.
+u64 default_trace_len();
+
+/// Process-wide deterministic trace cache (keyed by profile name, seed and
+/// length). Returned reference is valid for the process lifetime.
+const Trace& cached_trace(const WorkloadProfile& profile, u64 n_records);
+
+/// One application simulated on the monolithic baseline and on a helper
+/// cluster configuration.
+struct AppRun {
+  std::string app;
+  SimResult baseline;
+  SimResult helper;
+  double speedup() const { return helper.speedup_vs(baseline); }
+  double perf_increase_pct() const { return (speedup() - 1.0) * 100.0; }
+};
+
+AppRun run_app(const WorkloadProfile& profile, const SteeringConfig& steer,
+               u64 n_records = 0);
+
+/// One application against several steering configurations (shared trace and
+/// shared baseline run).
+struct MultiRun {
+  std::string app;
+  SimResult baseline;
+  std::vector<SimResult> configs;
+};
+
+MultiRun run_app_configs(const WorkloadProfile& profile,
+                         std::span<const SteeringConfig> configs,
+                         u64 n_records = 0);
+
+/// The 12-app SPEC Int 2000 sweep used by most figures.
+std::vector<AppRun> run_spec_suite(const SteeringConfig& steer, u64 n_records = 0);
+
+/// Print the Table 1 machine parameters.
+std::string describe_machine(const MachineConfig& cfg);
+
+}  // namespace hcsim

@@ -1,0 +1,123 @@
+#include "steer/steering.hpp"
+
+#include <sstream>
+
+namespace hcsim {
+
+std::string SteeringConfig::describe() const {
+  if (!helper_enabled) return "baseline";
+  std::ostringstream os;
+  os << "8_8_8";
+  if (br) os << "+BR";
+  if (lr) os << "+LR";
+  if (cr) os << "+CR";
+  if (cp) os << "+CP";
+  if (ir) os << (ir_block ? "+IR(block)" : ir_nodest_only ? "+IR(nodest)" : "+IR");
+  return os.str();
+}
+
+SteeringConfig steering_baseline() {
+  SteeringConfig c;
+  c.helper_enabled = false;
+  c.p888 = false;
+  return c;
+}
+
+SteeringConfig steering_888() { return SteeringConfig{}; }
+
+SteeringConfig steering_888_br() {
+  SteeringConfig c;
+  c.br = true;
+  return c;
+}
+
+SteeringConfig steering_888_br_lr() {
+  SteeringConfig c = steering_888_br();
+  c.lr = true;
+  return c;
+}
+
+SteeringConfig steering_888_br_lr_cr() {
+  SteeringConfig c = steering_888_br_lr();
+  c.cr = true;
+  return c;
+}
+
+SteeringConfig steering_cp() {
+  SteeringConfig c = steering_888_br_lr_cr();
+  c.cp = true;
+  return c;
+}
+
+SteeringConfig steering_ir() {
+  SteeringConfig c = steering_cp();
+  c.ir = true;
+  c.balance_throttle = true;
+  return c;
+}
+
+SteeringConfig steering_ir_nodest() {
+  SteeringConfig c = steering_ir();
+  c.ir_nodest_only = true;
+  return c;
+}
+
+SteeringConfig steering_ir_block() {
+  SteeringConfig c = steering_ir();
+  c.ir_block = true;
+  return c;
+}
+
+bool SteeringPolicy::ir_triggered(const SteerContext& ctx) const {
+  const double wide_frac =
+      static_cast<double>(ctx.iq_occ_wide) / static_cast<double>(ctx.iq_size_wide);
+  const double helper_frac =
+      static_cast<double>(ctx.iq_occ_helper) / static_cast<double>(ctx.iq_size_helper);
+  return wide_frac >= cfg_.ir_wide_occ_frac && helper_frac <= cfg_.ir_helper_occ_frac;
+}
+
+SteerDecision SteeringPolicy::decide(const SteerContext& ctx) const {
+  if (!cfg_.helper_enabled) return SteerDecision::kWide;
+  const StaticUop& u = *ctx.uop;
+
+  if (!ctx.helper_capable) return SteerDecision::kWide;
+
+  // Reverse imbalance reduction: when the helper cluster is overloaded,
+  // narrow instructions go back to the wide cluster until balance is
+  // restored (Section 3.7, introduction of scheme 5).
+  const bool helper_overloaded =
+      cfg_.balance_throttle &&
+      static_cast<double>(ctx.iq_occ_helper) >
+          cfg_.helper_overload_frac * static_cast<double>(ctx.iq_size_helper);
+  if (helper_overloaded && !is_branch(u.opcode)) return SteerDecision::kWide;
+
+  // (3.3) BR: a conditional branch follows its flags producer into the
+  // helper cluster, provided the frontend can resolve its target. This both
+  // raises helper occupancy and kills the flags copy.
+  if (is_branch(u.opcode)) {
+    if (cfg_.br && ctx.flags_producer_in_helper && ctx.frontend_resolvable)
+      return SteerDecision::kHelper;
+    return SteerDecision::kWide;
+  }
+
+  // (3.2) 8-8-8: every source and the result narrow, with high confidence.
+  const bool result_ok =
+      !u.has_dst() || (ctx.result_pred_narrow && ctx.result_confident);
+  if (cfg_.p888 && ctx.all_srcs_narrow && result_ok) return SteerDecision::kHelper;
+
+  // (3.5) CR: one wide source, narrow remainder, result predicted wide, and
+  // the carry predictor says (confidently) the carry stays in the low byte.
+  if (cfg_.cr && ctx.cr_shape && ctx.carry_pred_confined && ctx.carry_confident)
+    return SteerDecision::kHelperCr;
+
+  // (3.7) IR: on wide->narrow imbalance, split a wide ALU µop into 8-bit
+  // chunks for the underutilized helper cluster.
+  if (cfg_.ir && opcode_info(u.opcode).op_class == OpClass::kIntAlu &&
+      !is_branch(u.opcode) && ir_triggered(ctx)) {
+    if (!cfg_.ir_nodest_only || !u.has_dst()) return SteerDecision::kSplit;
+  }
+
+  return SteerDecision::kWide;
+}
+
+}  // namespace hcsim

@@ -1,0 +1,52 @@
+// hcsim — value-accurate dynamic µop traces.
+//
+// The paper's evaluation is trace driven (Section 3.1). A trace couples a
+// static µop program with the dynamic stream produced by functionally
+// executing it: every record carries the *actual* source and result values,
+// so downstream consumers (width predictors, carry detection, steering)
+// observe real data widths rather than sampled statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/uop.hpp"
+#include "util/types.hpp"
+
+namespace hcsim {
+
+/// One dynamic µop instance.
+struct TraceRecord {
+  u32 pc = 0;  // index of the StaticUop in the owning program
+  std::array<u32, kMaxSrcs> src_vals = {0, 0, 0};
+  u32 result = 0;    // value written to dst (undefined when !has_dst)
+  u32 flags_val = 0; // value written to flags (undefined unless writes_flags)
+  u32 mem_addr = 0;  // effective address (memory ops only)
+  bool taken = false;  // conditional branch outcome
+};
+
+/// A static program: the µops plus branch targets.
+struct Program {
+  std::string name;
+  std::vector<StaticUop> uops;
+  std::vector<u32> branch_targets;  // parallel to uops; 0 unless branch
+
+  u32 target_of(u32 pc) const { return branch_targets[pc]; }
+};
+
+/// A full trace: program + dynamic stream + provenance.
+struct Trace {
+  Program program;
+  std::vector<TraceRecord> records;
+  u64 seed = 0;
+
+  const StaticUop& uop_of(const TraceRecord& r) const { return program.uops[r.pc]; }
+  std::size_t size() const { return records.size(); }
+};
+
+/// Binary trace serialization (versioned, little-endian). Returns false on
+/// I/O failure; `load_trace` additionally validates the header.
+bool save_trace(const Trace& trace, const std::string& path);
+bool load_trace(Trace& trace, const std::string& path);
+
+}  // namespace hcsim

@@ -1,0 +1,95 @@
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "trace/trace.hpp"
+
+namespace hcsim {
+namespace {
+
+constexpr u32 kMagic = 0x48435452;  // "HCTR"
+constexpr u32 kVersion = 2;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool write_pod(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool read_pod(std::FILE* f, T& v) {
+  return std::fread(&v, sizeof(T), 1, f) == 1;
+}
+
+bool write_string(std::FILE* f, const std::string& s) {
+  const u32 n = static_cast<u32>(s.size());
+  return write_pod(f, n) && (n == 0 || std::fwrite(s.data(), 1, n, f) == n);
+}
+
+bool read_string(std::FILE* f, std::string& s) {
+  u32 n = 0;
+  if (!read_pod(f, n) || n > (1u << 20)) return false;
+  s.resize(n);
+  return n == 0 || std::fread(s.data(), 1, n, f) == n;
+}
+
+}  // namespace
+
+bool save_trace(const Trace& trace, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  if (!write_pod(f.get(), kMagic) || !write_pod(f.get(), kVersion)) return false;
+  if (!write_string(f.get(), trace.program.name)) return false;
+  if (!write_pod(f.get(), trace.seed)) return false;
+
+  const u32 n_static = static_cast<u32>(trace.program.uops.size());
+  if (!write_pod(f.get(), n_static)) return false;
+  for (u32 i = 0; i < n_static; ++i) {
+    if (!write_pod(f.get(), trace.program.uops[i])) return false;
+    if (!write_pod(f.get(), trace.program.branch_targets[i])) return false;
+  }
+
+  const u64 n_dyn = trace.records.size();
+  if (!write_pod(f.get(), n_dyn)) return false;
+  for (const TraceRecord& r : trace.records)
+    if (!write_pod(f.get(), r)) return false;
+  return true;
+}
+
+bool load_trace(Trace& trace, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  u32 magic = 0, version = 0;
+  if (!read_pod(f.get(), magic) || magic != kMagic) return false;
+  if (!read_pod(f.get(), version) || version != kVersion) return false;
+  if (!read_string(f.get(), trace.program.name)) return false;
+  if (!read_pod(f.get(), trace.seed)) return false;
+
+  u32 n_static = 0;
+  if (!read_pod(f.get(), n_static) || n_static > (1u << 24)) return false;
+  trace.program.uops.resize(n_static);
+  trace.program.branch_targets.resize(n_static);
+  for (u32 i = 0; i < n_static; ++i) {
+    if (!read_pod(f.get(), trace.program.uops[i])) return false;
+    if (!read_pod(f.get(), trace.program.branch_targets[i])) return false;
+  }
+
+  u64 n_dyn = 0;
+  if (!read_pod(f.get(), n_dyn) || n_dyn > (1ull << 33)) return false;
+  trace.records.resize(n_dyn);
+  for (TraceRecord& r : trace.records)
+    if (!read_pod(f.get(), r)) return false;
+
+  // Validate pcs so downstream code can index without bounds checks.
+  for (const TraceRecord& r : trace.records)
+    if (r.pc >= n_static) return false;
+  return true;
+}
+
+}  // namespace hcsim

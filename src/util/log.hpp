@@ -1,0 +1,31 @@
+// hcsim — assertion and environment helpers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hcsim {
+
+[[noreturn]] inline void fatal(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "hcsim fatal: %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+/// Simulator invariant check: enabled in all build types — a cycle-level
+/// model that silently corrupts state produces plausible-looking wrong
+/// numbers, which is worse than crashing.
+#define HCSIM_CHECK(cond, msg)                              \
+  do {                                                      \
+    if (!(cond)) ::hcsim::fatal(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Read an environment-variable override (used by benches to scale trace
+/// length without recompiling).
+inline unsigned long long env_u64(const char* name, unsigned long long fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+}  // namespace hcsim

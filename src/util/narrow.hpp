@@ -1,0 +1,62 @@
+// hcsim — narrow-value detection helpers.
+//
+// The paper (Section 2.1, Figure 3) detects narrow values with leading-zero
+// and leading-one detectors: a 32-bit value is "narrow" (8-bit) when its top
+// 24 bits are all zero (small unsigned / positive) or all one (sign-extended
+// small negative). These helpers are the software equivalent of those
+// detectors and are used by the trace generator, the predictors and the
+// execution backends alike.
+#pragma once
+
+#include <bit>
+
+#include "util/types.hpp"
+
+namespace hcsim {
+
+/// True when `v`'s top 24 bits are all zero (leading-zero detector of
+/// Figure 3a): the value is representable as an unsigned byte.
+constexpr bool leading_zeros24(u32 v) { return (v & 0xFFFFFF00u) == 0u; }
+
+/// True when `v`'s top 24 bits are all one (leading-one detector of
+/// Figure 3b): the value is a sign-extended negative byte.
+constexpr bool leading_ones24(u32 v) { return (v & 0xFFFFFF00u) == 0xFFFFFF00u; }
+
+/// The paper's narrowness predicate: fits in 8 bits after zero- or
+/// sign-extension.
+constexpr bool is_narrow8(u32 v) { return leading_zeros24(v) || leading_ones24(v); }
+
+/// Generalised detector for a `width`-bit helper cluster (the paper fixes
+/// width=8 but discusses wider clusters; the ablation bench sweeps this).
+constexpr bool is_narrow(u32 v, unsigned width) {
+  if (width >= 32) return true;
+  const u32 mask = ~u32{0} << width;
+  return (v & mask) == 0u || (v & mask) == mask;
+}
+
+/// Number of significant bits of `v` interpreted as a signed quantity, i.e.
+/// the smallest w such that is_narrow(v, w). Always in [1, 32].
+constexpr unsigned significant_bits(u32 v) {
+  // Positive-style values: significant bits = 32 - countl_zero + 1 sign bit.
+  // Negative-style: complement first.
+  const u32 x = (v >> 31) ? ~v : v;
+  const unsigned magnitude = 32u - static_cast<unsigned>(std::countl_zero(x));
+  return magnitude + 1u <= 32u ? magnitude + 1u : 32u;
+}
+
+/// True when `a` and `b` agree on all bits above the low `width` bits.
+constexpr bool upper_bits_match(u32 a, u32 b, unsigned width = 8) {
+  if (width >= 32) return true;
+  const u32 mask = ~u32{0} << width;
+  return (a & mask) == (b & mask);
+}
+
+/// The paper's "carry not propagated" condition (Section 3.5, Figure 10):
+/// adding the narrow source to the wide source leaves the upper bits of the
+/// wide source intact, so the add can execute on the `width`-bit AGU/ALU and
+/// the upper bits be reconstructed by tagging the wide source register.
+constexpr bool carry_confined(u32 wide_src, u32 narrow_src, unsigned width = 8) {
+  return upper_bits_match(wide_src, wide_src + narrow_src, width);
+}
+
+}  // namespace hcsim

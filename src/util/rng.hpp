@@ -1,0 +1,90 @@
+// hcsim — deterministic random number generation.
+//
+// Every experiment in the repo is seeded; benches and tests must be
+// reproducible run-to-run and machine-to-machine, so we ship our own small
+// xoshiro256** implementation instead of relying on unspecified standard
+// library distributions.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "util/types.hpp"
+
+namespace hcsim {
+
+/// splitmix64 — used to expand a single seed into xoshiro state.
+constexpr u64 splitmix64(u64& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit constexpr Rng(u64 seed = 0x5EEDC0DEull) { reseed(seed); }
+
+  constexpr void reseed(u64 seed) {
+    u64 sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  constexpr u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5u, 7) * 9u;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound == 0 yields 0.
+  constexpr u64 below(u64 bound) {
+    if (bound == 0) return 0;
+    // Multiply-shift reduction; bias is negligible for simulator purposes.
+    return static_cast<u64>((static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  constexpr i64 range(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(below(static_cast<u64>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+  /// Geometric-ish distance >= 1 with mean approximately `mean`.
+  u64 geometric(double mean) {
+    if (mean <= 1.0) return 1;
+    const double p = 1.0 / mean;
+    const double u = uniform();
+    const double val = std::log1p(-u) / std::log1p(-p);
+    const u64 r = static_cast<u64>(val) + 1;
+    return r == 0 ? 1 : r;
+  }
+
+  /// Fork a statistically independent child stream (for per-app seeding).
+  constexpr Rng fork(u64 salt) {
+    Rng child(next_u64() ^ (salt * 0x9E3779B97F4A7C15ull));
+    return child;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace hcsim

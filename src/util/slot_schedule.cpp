@@ -1,0 +1,42 @@
+#include "util/slot_schedule.hpp"
+
+namespace hcsim {
+
+Tick SlotSchedule::reserve(Tick earliest) {
+  u64 cycle = earliest / cycle_ticks_;
+  if (cycle < min_cycle_) cycle = min_cycle_;
+  for (;;) {
+    auto it = use_.find(CycleUse{cycle, 0});
+    if (it == use_.end()) {
+      use_.insert(CycleUse{cycle, 1});
+      break;
+    }
+    if (it->used < width_) {
+      CycleUse updated = *it;
+      ++updated.used;
+      use_.erase(it);
+      use_.insert(updated);
+      break;
+    }
+    ++cycle;
+  }
+  ++reservations_;
+  // Garbage-collect reservations far in the past to bound memory; the
+  // pipeline never looks back more than a ROB lifetime.
+  if (use_.size() > 65536) {
+    const u64 horizon = use_.rbegin()->cycle;
+    const u64 cutoff = horizon > 32768 ? horizon - 32768 : 0;
+    while (!use_.empty() && use_.begin()->cycle < cutoff) use_.erase(use_.begin());
+    min_cycle_ = cutoff;
+  }
+  return cycle * cycle_ticks_;
+}
+
+bool SlotSchedule::has_free_slot(Tick tick) const {
+  const u64 cycle = tick / cycle_ticks_;
+  if (cycle < min_cycle_) return false;
+  auto it = use_.find(CycleUse{cycle, 0});
+  return it == use_.end() || it->used < width_;
+}
+
+}  // namespace hcsim

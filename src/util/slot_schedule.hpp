@@ -1,0 +1,88 @@
+// hcsim — per-cluster issue-slot and queue-occupancy bookkeeping.
+//
+// The pipeline processes µops in program order but µops issue out of order;
+// these helpers track how many issue slots each cluster-cycle has consumed
+// and which issue-queue entries are still occupied, so resource contention
+// is modeled without a tick-by-tick wakeup/select loop.
+#pragma once
+
+#include <set>
+
+#include "util/log.hpp"
+#include "util/types.hpp"
+
+namespace hcsim {
+
+/// Issue-slot ledger: at most `width` µops may issue per cluster cycle.
+/// Cycles are cluster-local (tick / cycle_ticks).
+class SlotSchedule {
+ public:
+  SlotSchedule(unsigned width, Tick cycle_ticks)
+      : width_(width), cycle_ticks_(cycle_ticks) {}
+
+  /// Reserve the first free slot at a cycle whose start is >= `earliest`
+  /// tick. Returns the tick at which the µop issues (start of that cycle).
+  Tick reserve(Tick earliest);
+
+  /// True if cycle containing `tick` still has a free slot (no reservation).
+  bool has_free_slot(Tick tick) const;
+
+  Tick cycle_ticks() const { return cycle_ticks_; }
+  u64 reservations() const { return reservations_; }
+
+ private:
+  struct CycleUse {
+    u64 cycle;
+    unsigned used;
+    bool operator<(const CycleUse& o) const { return cycle < o.cycle; }
+  };
+
+  unsigned width_;
+  Tick cycle_ticks_;
+  std::set<CycleUse> use_;  // sparse map cycle -> used slots
+  u64 reservations_ = 0;
+  u64 min_cycle_ = 0;  // cycles below this are fully garbage-collected
+};
+
+/// Issue-queue occupancy tracker: entries are held from dispatch until
+/// issue. `earliest_dispatch` computes when a new µop can enter given the
+/// queue size, and `occupancy_at` supports the IR imbalance trigger.
+class QueueTracker {
+ public:
+  explicit QueueTracker(unsigned size) : size_(size) {}
+
+  /// Given that the µop wants to dispatch at `tick`, return the earliest
+  /// tick >= `tick` when the queue has a free entry, and record the entry as
+  /// occupied until `issue_tick` (filled in later via `set_issue`).
+  Tick earliest_dispatch(Tick tick) {
+    gc(tick);
+    if (in_queue_.size() < size_) return tick;
+    // Wait for the earliest-issuing current occupant to leave.
+    auto it = in_queue_.begin();
+    const Tick freed = *it;
+    in_queue_.erase(it);
+    return freed > tick ? freed : tick;
+  }
+
+  /// Record a dispatched µop that will issue (leave the queue) at `issue`.
+  void add(Tick issue) { in_queue_.insert(issue); }
+
+  /// Occupancy as seen at tick `t` (after lazy cleanup).
+  unsigned occupancy(Tick t) {
+    gc(t);
+    return static_cast<unsigned>(in_queue_.size());
+  }
+
+  unsigned size() const { return size_; }
+
+ private:
+  void gc(Tick t) {
+    while (!in_queue_.empty() && *in_queue_.begin() <= t)
+      in_queue_.erase(in_queue_.begin());
+  }
+
+  unsigned size_;
+  std::multiset<Tick> in_queue_;  // issue ticks of queued µops
+};
+
+}  // namespace hcsim

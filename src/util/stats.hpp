@@ -1,0 +1,132 @@
+// hcsim — lightweight statistics primitives used by the simulator and the
+// benches (counters, ratios, running mean/stddev, histograms).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hcsim {
+
+/// Welford running mean / variance accumulator.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  u64 count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStat& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) * static_cast<double>(o.n_) / total;
+    mean_ += delta * static_cast<double>(o.n_) / total;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// numerator / denominator pair that renders as a percentage.
+struct Ratio {
+  u64 num = 0;
+  u64 den = 0;
+
+  void add(bool hit) { num += hit ? 1 : 0; ++den; }
+  void add_n(u64 n, u64 d) { num += n; den += d; }
+  double value() const { return den ? static_cast<double>(num) / static_cast<double>(den) : 0.0; }
+  double percent() const { return 100.0 * value(); }
+};
+
+/// Fixed-bin histogram over [0, bins) with a saturating overflow bin.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t bins = 64) : counts_(bins + 1, 0) {}
+
+  void add(u64 v, u64 weight = 1) {
+    const std::size_t idx = std::min<std::size_t>(v, counts_.size() - 1);
+    counts_[idx] += weight;
+    total_ += weight;
+    sum_ += v * weight;
+  }
+
+  u64 total() const { return total_; }
+  u64 bin(std::size_t i) const { return i < counts_.size() ? counts_[i] : 0; }
+  std::size_t bins() const { return counts_.size() - 1; }
+  double mean() const { return total_ ? static_cast<double>(sum_) / static_cast<double>(total_) : 0.0; }
+
+  /// Smallest v such that at least `q` (0..1) of the mass is <= v.
+  u64 quantile(double q) const {
+    if (total_ == 0) return 0;
+    const double target = q * static_cast<double>(total_);
+    double acc = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      acc += static_cast<double>(counts_[i]);
+      if (acc >= target) return i;
+    }
+    return counts_.size() - 1;
+  }
+
+  double fraction_at_most(u64 v) const {
+    if (total_ == 0) return 0.0;
+    u64 acc = 0;
+    for (std::size_t i = 0; i <= std::min<std::size_t>(v, counts_.size() - 1); ++i) acc += counts_[i];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+  }
+
+ private:
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+  u64 sum_ = 0;
+};
+
+/// Named counter bag — the simulator exposes its raw event counts this way
+/// so benches/tests can assert on any of them without new plumbing.
+class CounterBag {
+ public:
+  u64& operator[](const std::string& name) { return counters_[name]; }
+  u64 get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, u64>& all() const { return counters_; }
+
+ private:
+  std::map<std::string, u64> counters_;
+};
+
+/// Geometric mean helper for speedup aggregation across apps.
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += std::log(std::max(x, 1e-12));
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace hcsim

@@ -1,0 +1,38 @@
+// hcsim — plain-text table / CSV rendering for bench output.
+//
+// Every bench prints the same rows/series the paper's figure or table
+// reports; this helper keeps that output aligned and optionally mirrors it
+// to CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hcsim {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; each cell is pre-formatted text.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `prec` decimals.
+  static std::string num(double v, int prec = 2);
+
+  /// Render with column alignment and a header rule.
+  std::string render() const;
+
+  /// Render as CSV (for offline plotting of the figure).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a horizontal ASCII bar (used to sketch the paper's bar charts in
+/// terminal output).
+std::string ascii_bar(double value, double max_value, int width = 40);
+
+}  // namespace hcsim

@@ -1,0 +1,36 @@
+// hcsim — basic scalar types and time units shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace hcsim {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Global simulation time unit. One tick is one *helper-cluster* cycle;
+/// the wide cluster, frontend, caches and commit logic operate every
+/// `kTicksPerWideCycle` ticks (the paper's 2x clock ratio, Section 2.2).
+using Tick = u64;
+
+/// Number of ticks per wide-cluster (slow) cycle. The helper cluster runs at
+/// ratio 2 by default; it is a machine parameter so the ablation bench can
+/// sweep it.
+inline constexpr Tick kDefaultTicksPerWideCycle = 2;
+
+/// Sentinel for "no tick scheduled yet".
+inline constexpr Tick kTickNever = ~Tick{0};
+
+/// Dynamic instruction sequence number (monotonic over a run).
+using SeqNum = u64;
+
+inline constexpr SeqNum kSeqNone = ~SeqNum{0};
+
+}  // namespace hcsim

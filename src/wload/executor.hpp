@@ -1,0 +1,44 @@
+// hcsim — functional executor: turns a static program into a value-accurate
+// dynamic trace.
+//
+// The executor interprets the generated program with a concrete register
+// file and a synthetic memory image, recording every executed µop with its
+// real source values, result, flags and effective address. Widths, carry
+// behaviour and branch outcomes downstream are therefore *computed*, never
+// sampled from a distribution.
+#pragma once
+
+#include <unordered_map>
+
+#include "trace/trace.hpp"
+#include "wload/profile.hpp"
+
+namespace hcsim {
+
+/// Synthetic memory image. Addresses fall into the regions of
+/// mem_layout (byte arrays, word arrays, pointer/CR structures); a load
+/// from a never-written address synthesizes a deterministic value shaped by
+/// the region and the profile's value_stability, while stores persist.
+class SyntheticMemory {
+ public:
+  explicit SyntheticMemory(const WorkloadProfile& profile) : prof_(profile) {}
+
+  u32 load(u32 addr, bool byte) const;
+  void store(u32 addr, u32 value, bool byte);
+
+ private:
+  u32 synthesize(u32 addr) const;
+
+  const WorkloadProfile& prof_;
+  std::unordered_map<u32, u32> written_;  // word-granular backing store
+};
+
+/// Functionally execute `program` until `n_records` dynamic µops have been
+/// emitted (the program restarts from the top when it falls off the end).
+Trace execute_program(const Program& program, const WorkloadProfile& profile,
+                      u64 n_records);
+
+/// Convenience: generate_program + execute_program.
+Trace generate_trace(const WorkloadProfile& profile, u64 n_records);
+
+}  // namespace hcsim

@@ -1,0 +1,254 @@
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "wload/profile.hpp"
+
+namespace hcsim {
+namespace {
+
+WorkloadProfile base_int() {
+  WorkloadProfile p;
+  return p;
+}
+
+/// Tuning notes. Each profile encodes the qualitative behaviour the paper
+/// reports for that benchmark rather than any proprietary knowledge:
+///  * Figure 1 narrow-dependency ordering (bzip2/gzip/parser high, crafty/
+///    vortex lower),
+///  * Figure 6: bzip2 worst 8-8-8 performer with a high copy/narrow ratio,
+///    gcc best with a low copy/narrow ratio,
+///  * mcf memory bound (tiny speedups on any scheme),
+///  * Figure 11: loads confine carries more often than arithmetic.
+std::vector<WorkloadProfile> make_spec() {
+  std::vector<WorkloadProfile> v;
+
+  {  // bzip2 — byte-stream compression: very narrow, but narrow results are
+     // constantly used as table indices -> highest copy pressure.
+    WorkloadProfile p = base_int();
+    p.name = "bzip2";
+    p.seed = 0xB21;
+    p.w_narrow_chain = 1.35; p.w_wide_chain = 1.0; p.w_cr_chain = 0.8;
+    p.p_cross_width_use = 0.80; p.value_stability = 0.90;
+    p.p_narrow_flags = 0.92;  // byte-stream compares
+    p.byte_footprint_log2 = 18; p.word_footprint_log2 = 19;
+    p.p_carry_propagate = 0.16;
+    v.push_back(p);
+  }
+  {  // crafty — chess: wide bitboard-style logic dominates.
+    WorkloadProfile p = base_int();
+    p.name = "crafty";
+    p.seed = 0xC4A;
+    p.w_narrow_chain = 0.55; p.w_wide_chain = 2.2; p.w_cr_chain = 0.7;
+    p.w_branchy_chain = 0.8; p.p_cross_width_use = 0.30;
+    p.value_stability = 0.93; p.p_wide_loop = 0.2;
+    v.push_back(p);
+  }
+  {  // eon — C++ ray tracing: mixed integer with an FP component.
+    WorkloadProfile p = base_int();
+    p.name = "eon";
+    p.seed = 0xE01;
+    p.w_narrow_chain = 0.70; p.w_wide_chain = 1.4; p.w_cr_chain = 0.7;
+    p.w_fp_chain = 0.5; p.p_cross_width_use = 0.28;
+    v.push_back(p);
+  }
+  {  // gap — computational group theory: arithmetic and mul heavy.
+    WorkloadProfile p = base_int();
+    p.name = "gap";
+    p.seed = 0x6A9;
+    p.w_narrow_chain = 0.75; p.w_wide_chain = 1.3; p.w_cr_chain = 0.9;
+    p.w_muldiv_chain = 0.25; p.p_cross_width_use = 0.30;
+    v.push_back(p);
+  }
+  {  // gcc — compiler: flags/branches everywhere, narrow values stay in
+     // narrow contexts -> lowest copy/narrow ratio, best 8-8-8 speedup.
+    WorkloadProfile p = base_int();
+    p.name = "gcc";
+    p.seed = 0x6CC;
+    p.w_narrow_chain = 1.30; p.w_wide_chain = 0.9; p.w_cr_chain = 1.1;
+    p.w_branchy_chain = 1.4; p.p_cross_width_use = 0.08;
+    p.p_narrow_flags = 0.35;  // gcc compares pointers more than bytes
+    p.value_stability = 0.95; p.num_loops = 24;
+    v.push_back(p);
+  }
+  {  // gzip — LZ byte compression: narrow heavy, moderate cross-width.
+    WorkloadProfile p = base_int();
+    p.name = "gzip";
+    p.seed = 0x621;
+    p.w_narrow_chain = 1.25; p.w_wide_chain = 0.9; p.w_cr_chain = 0.9;
+    p.p_cross_width_use = 0.30; p.byte_footprint_log2 = 17;
+    v.push_back(p);
+  }
+  {  // mcf — network simplex: pointer chasing over a huge footprint;
+     // memory bound so every steering scheme helps little.
+    WorkloadProfile p = base_int();
+    p.name = "mcf";
+    p.seed = 0x3CF;
+    p.w_narrow_chain = 0.50; p.w_wide_chain = 2.4; p.w_cr_chain = 1.0;
+    p.p_pointer_chase = 0.5; p.p_cross_width_use = 0.25;
+    p.byte_footprint_log2 = 24; p.word_footprint_log2 = 26;
+    p.p_wide_loop = 0.3;
+    v.push_back(p);
+  }
+  {  // parser — word processing: character data, many branches.
+    WorkloadProfile p = base_int();
+    p.name = "parser";
+    p.seed = 0xAA5;
+    p.w_narrow_chain = 1.10; p.w_wide_chain = 1.1; p.w_cr_chain = 0.9;
+    p.w_branchy_chain = 1.2; p.p_cross_width_use = 0.22;
+    v.push_back(p);
+  }
+  {  // perlbmk — interpreter: dispatch-style branches, mixed widths.
+    WorkloadProfile p = base_int();
+    p.name = "perlbmk";
+    p.seed = 0x9E7;
+    p.w_narrow_chain = 0.85; p.w_wide_chain = 1.3; p.w_cr_chain = 0.8;
+    p.w_branchy_chain = 1.3; p.p_cross_width_use = 0.30;
+    p.value_stability = 0.90;
+    v.push_back(p);
+  }
+  {  // twolf — placement/routing: integer arithmetic, moderate widths.
+    WorkloadProfile p = base_int();
+    p.name = "twolf";
+    p.seed = 0x201F;
+    p.w_narrow_chain = 0.80; p.w_wide_chain = 1.4; p.w_cr_chain = 0.9;
+    p.w_muldiv_chain = 0.12; p.p_cross_width_use = 0.27;
+    v.push_back(p);
+  }
+  {  // vortex — OO database: pointer heavy, moderate narrow content.
+    WorkloadProfile p = base_int();
+    p.name = "vortex";
+    p.seed = 0x0E7E;
+    p.w_narrow_chain = 0.60; p.w_wide_chain = 2.0; p.w_cr_chain = 1.0;
+    p.p_cross_width_use = 0.33; p.word_footprint_log2 = 20;
+    v.push_back(p);
+  }
+  {  // vpr — place & route: mixed arithmetic.
+    WorkloadProfile p = base_int();
+    p.name = "vpr";
+    p.seed = 0x0B9;
+    p.w_narrow_chain = 0.80; p.w_wide_chain = 1.2; p.w_cr_chain = 1.0;
+    p.w_muldiv_chain = 0.10; p.p_cross_width_use = 0.25;
+    v.push_back(p);
+  }
+  return v;
+}
+
+std::vector<WorkloadCategory> make_categories() {
+  std::vector<WorkloadCategory> v;
+  auto add = [&](const char* name, const char* desc, unsigned n,
+                 WorkloadProfile base) {
+    base.name = name;
+    v.push_back(WorkloadCategory{name, desc, n, std::move(base)});
+  };
+
+  {  // Audio/video encode: regular byte/sample kernels.
+    WorkloadProfile p = base_int();
+    p.w_narrow_chain = 1.60; p.w_wide_chain = 0.9; p.w_cr_chain = 1.4;
+    p.p_cross_width_use = 0.18; p.w_muldiv_chain = 0.10;
+    p.w_branchy_chain = 0.3; p.p_narrow_flags = 0.90;
+    add("enc", "Audio/video encode", 62, p);
+  }
+  {  // SPEC FP: FP kernels with narrow loop control and address arithmetic.
+    WorkloadProfile p = base_int();
+    p.w_narrow_chain = 0.65; p.w_wide_chain = 1.0; p.w_cr_chain = 1.3;
+    p.w_fp_chain = 1.6; p.p_cross_width_use = 0.12;
+    add("sfp", "Spec FP's", 41, p);
+  }
+  {  // Kernels: VectorAdd, FIRs — extremely regular.
+    WorkloadProfile p = base_int();
+    p.w_narrow_chain = 1.20; p.w_wide_chain = 0.8; p.w_cr_chain = 1.7;
+    p.w_branchy_chain = 0.15; p.p_cross_width_use = 0.10;
+    p.value_stability = 0.97;
+    add("kernels", "VectorAdd, FIRs", 52, p);
+  }
+  {  // Multimedia: WMedia, photoshop — regular control flow, arithmetic.
+    WorkloadProfile p = base_int();
+    p.w_narrow_chain = 1.30; p.w_wide_chain = 1.0; p.w_cr_chain = 1.5;
+    p.w_branchy_chain = 0.3; p.p_cross_width_use = 0.15;
+    p.p_narrow_flags = 0.85;
+    add("mm", "WMedia, photoshop", 85, p);
+  }
+  {  // Office: Excel, word, ppt — irregular, pointer and branch heavy.
+    WorkloadProfile p = base_int();
+    p.w_narrow_chain = 0.55; p.w_wide_chain = 2.0; p.w_cr_chain = 0.7;
+    p.w_branchy_chain = 1.6; p.p_cross_width_use = 0.40;
+    p.value_stability = 0.85; p.word_footprint_log2 = 22;
+    p.p_pointer_chase = 0.25; p.p_narrow_flags = 0.30;
+    add("office", "Excel, word, ppt", 75, p);
+  }
+  {  // Productivity: internet content — similar to office, slightly more
+     // byte handling (text/markup).
+    WorkloadProfile p = base_int();
+    p.w_narrow_chain = 0.70; p.w_wide_chain = 1.7; p.w_cr_chain = 0.8;
+    p.w_branchy_chain = 1.4; p.p_cross_width_use = 0.36;
+    p.value_stability = 0.86; p.word_footprint_log2 = 21;
+    p.p_pointer_chase = 0.15; p.p_narrow_flags = 0.35;
+    add("prod", "Internet content", 45, p);
+  }
+  {  // Workstation: paper lists the same exemplars as kernels; modeled as a
+     // slightly less regular kernels family.
+    WorkloadProfile p = base_int();
+    p.w_narrow_chain = 1.05; p.w_wide_chain = 1.1; p.w_cr_chain = 1.4;
+    p.w_branchy_chain = 0.5; p.p_cross_width_use = 0.16;
+    add("ws", "VectorAdd, FIRs", 49, p);
+  }
+  return v;
+}
+
+}  // namespace
+
+const std::vector<WorkloadProfile>& spec_int_2000_profiles() {
+  static const std::vector<WorkloadProfile> kProfiles = make_spec();
+  return kProfiles;
+}
+
+const WorkloadProfile& spec_profile(const std::string& name) {
+  for (const auto& p : spec_int_2000_profiles())
+    if (p.name == name) return p;
+  HCSIM_CHECK(false, "unknown SPEC profile: " + name);
+}
+
+const std::vector<WorkloadCategory>& workload_categories() {
+  static const std::vector<WorkloadCategory> kCategories = make_categories();
+  return kCategories;
+}
+
+WorkloadProfile category_app_profile(const WorkloadCategory& cat, unsigned index) {
+  HCSIM_CHECK(index < cat.num_traces, "category app index out of range");
+  WorkloadProfile p = cat.base;
+  p.name = cat.name + "_" + std::to_string(index);
+
+  // Deterministic per-app jitter: every app in a family shares the family's
+  // character but differs in mix, footprint and predictability, producing
+  // the spread of the Figure 14 S-curve.
+  u64 s = cat.base.seed ^ (0x9E3779B97F4A7C15ull * (index + 1));
+  for (char c : cat.name) s = s * 131 + static_cast<unsigned char>(c);
+  Rng rng(s);
+  p.seed = rng.next_u64();
+
+  // Jitter widths by +/-25% around the family base: enough spread for the
+  // Figure 14 S-curve, narrow enough that category character survives.
+  auto jitter = [&](double w) {
+    return std::max(0.02, w * (0.75 + 0.5 * rng.uniform()));
+  };
+  p.w_narrow_chain = jitter(p.w_narrow_chain);
+  p.w_wide_chain = jitter(p.w_wide_chain);
+  p.w_cr_chain = jitter(p.w_cr_chain);
+  p.w_branchy_chain = jitter(p.w_branchy_chain);
+  p.w_muldiv_chain = jitter(p.w_muldiv_chain + 0.02);
+  if (p.w_fp_chain > 0) p.w_fp_chain = jitter(p.w_fp_chain);
+  p.p_cross_width_use = std::clamp(p.p_cross_width_use * (0.8 + 0.4 * rng.uniform()), 0.02, 0.8);
+  p.value_stability = std::clamp(p.value_stability + (rng.uniform() - 0.5) * 0.04, 0.75, 0.99);
+  p.p_carry_propagate = std::clamp(p.p_carry_propagate * (0.7 + 0.6 * rng.uniform()), 0.01, 0.5);
+  p.num_loops = static_cast<unsigned>(rng.range(10, 20));
+  // Footprints stay near the family base (memory character is categorical).
+  p.byte_footprint_log2 = static_cast<unsigned>(
+      std::clamp<i64>(rng.range(-1, 1) + p.byte_footprint_log2, 12, 22));
+  p.word_footprint_log2 = static_cast<unsigned>(
+      std::clamp<i64>(rng.range(-1, 1) + p.word_footprint_log2, 14, 24));
+  p.p_wide_loop = std::clamp(p.p_wide_loop * (0.7 + 0.6 * rng.uniform()), 0.0, 0.6);
+  return p;
+}
+
+}  // namespace hcsim

@@ -1,0 +1,176 @@
+// Tests for the trace analytics behind Figures 1, 11 and 13.
+#include <gtest/gtest.h>
+
+#include "analysis/trace_stats.hpp"
+#include "wload/executor.hpp"
+#include "wload/profile.hpp"
+
+namespace hcsim {
+namespace {
+
+struct TraceBuilder {
+  Trace trace;
+  u32 emit(StaticUop u, TraceRecord r) {
+    u.pc = static_cast<u32>(trace.program.uops.size());
+    r.pc = u.pc;
+    trace.program.uops.push_back(u);
+    trace.program.branch_targets.push_back(0);
+    trace.records.push_back(r);
+    return u.pc;
+  }
+  void movi(RegId d, u32 imm) {
+    StaticUop u;
+    u.opcode = Opcode::kMovImm;
+    u.dst = d;
+    u.has_imm = true;
+    u.imm = imm;
+    TraceRecord r;
+    r.result = imm;
+    emit(u, r);
+  }
+  void add(RegId d, RegId a, RegId b, u32 va, u32 vb) {
+    StaticUop u;
+    u.opcode = Opcode::kAdd;
+    u.dst = d;
+    u.srcs = {a, b, kRegNone};
+    TraceRecord r;
+    r.src_vals = {va, vb, 0};
+    r.result = va + vb;
+    emit(u, r);
+  }
+};
+
+TEST(NarrowDependency, CountsProducersWidth) {
+  TraceBuilder tb;
+  tb.movi(kRegEax, 5);        // eax narrow
+  tb.movi(kRegEbx, 0x10000);  // ebx wide
+  tb.add(kRegEcx, kRegEax, kRegEbx, 5, 0x10000);  // operands: narrow + wide
+  tb.add(kRegEdx, kRegEax, kRegEax, 5, 5);        // operands: narrow + narrow
+  const auto s = narrow_dependency_stats(tb.trace);
+  // 4 register operands total, 3 of them read a narrow producer value.
+  EXPECT_EQ(s.operands_narrow_dependent.den, 4u);
+  EXPECT_EQ(s.operands_narrow_dependent.num, 3u);
+}
+
+TEST(NarrowDependency, InitialRegistersCountNarrow) {
+  TraceBuilder tb;
+  tb.add(kRegEcx, kRegEax, kRegEbx, 0, 0);  // reads two untouched (zero) regs
+  const auto s = narrow_dependency_stats(tb.trace);
+  EXPECT_EQ(s.operands_narrow_dependent.num, 2u);
+}
+
+TEST(NarrowDependency, AluOperandMixBuckets) {
+  TraceBuilder tb;
+  tb.movi(kRegEax, 5);        // narrow producer
+  tb.movi(kRegEbx, 0x10000);  // wide producer
+  // one-narrow: eax (narrow) + ebx (wide)
+  tb.add(kRegEcx, kRegEax, kRegEbx, 5, 0x10000);
+  // two-narrow producing narrow: eax + eax
+  tb.add(kRegEdx, kRegEax, kRegEax, 5, 5);
+  // two-narrow producing wide: 200 + 200 = 400
+  tb.movi(kRegEsi, 200);
+  tb.add(kRegEdi, kRegEsi, kRegEsi, 200, 200);
+  const auto s = narrow_dependency_stats(tb.trace);
+  EXPECT_GT(s.alu_one_narrow.num, 0u);
+  EXPECT_GT(s.alu_two_narrow_narrow_result.num, 0u);
+  EXPECT_GT(s.alu_two_narrow_wide_result.num, 0u);
+}
+
+TEST(CarryStats, ClassifiesConfinedArith) {
+  TraceBuilder tb;
+  tb.movi(kRegEax, 0x12345600);  // wide, low byte clear
+  tb.movi(kRegEbx, 0x10);        // narrow
+  tb.add(kRegEcx, kRegEax, kRegEbx, 0x12345600, 0x10);  // confined
+  tb.movi(kRegEdx, 0x123456F0);
+  tb.add(kRegEsi, kRegEdx, kRegEbx, 0x123456F0, 0x20);  // carries out
+  const auto s = carry_stats(tb.trace);
+  EXPECT_EQ(s.arith_confined.den, 2u);
+  EXPECT_EQ(s.arith_confined.num, 1u);
+}
+
+TEST(CarryStats, LoadsTrackedSeparately) {
+  TraceBuilder tb;
+  tb.movi(kRegEax, 0x40000000);  // wide base
+  tb.movi(kRegEbx, 0x8);         // narrow index
+  StaticUop ld;
+  ld.opcode = Opcode::kLoad;
+  ld.dst = kRegEcx;
+  ld.srcs = {kRegEax, kRegEbx, kRegNone};
+  TraceRecord r;
+  r.src_vals = {0x40000000, 0x8, 0};
+  r.mem_addr = 0x40000008;
+  r.result = 0x77;
+  tb.emit(ld, r);
+  const auto s = carry_stats(tb.trace);
+  EXPECT_EQ(s.load_confined.den, 1u);
+  EXPECT_EQ(s.load_confined.num, 1u);
+  EXPECT_EQ(s.arith_confined.den, 0u);
+}
+
+TEST(CarryStats, RequiresExactlyOneWideSource) {
+  TraceBuilder tb;
+  tb.movi(kRegEax, 0x10000);
+  tb.movi(kRegEbx, 0x20000);
+  tb.add(kRegEcx, kRegEax, kRegEbx, 0x10000, 0x20000);  // two wide: excluded
+  tb.movi(kRegEdx, 1);
+  tb.add(kRegEsi, kRegEdx, kRegEdx, 1, 1);  // two narrow: excluded
+  const auto s = carry_stats(tb.trace);
+  EXPECT_EQ(s.arith_confined.den, 0u);
+}
+
+TEST(Distance, FirstConsumerMeasured) {
+  TraceBuilder tb;
+  tb.movi(kRegEax, 1);                       // idx 0: producer
+  tb.movi(kRegEbx, 2);                       // idx 1
+  tb.movi(kRegEcx, 3);                       // idx 2
+  tb.add(kRegEdx, kRegEax, kRegEbx, 1, 2);   // idx 3: consumes eax (d=3), ebx (d=2)
+  tb.add(kRegEsi, kRegEax, kRegEax, 1, 1);   // idx 4: eax already consumed
+  const auto s = producer_consumer_distance(tb.trace);
+  EXPECT_EQ(s.distance.total(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+TEST(Distance, RedefinitionResetsProducer) {
+  TraceBuilder tb;
+  tb.movi(kRegEax, 1);                      // idx 0
+  tb.movi(kRegEax, 2);                      // idx 1 redefines
+  tb.add(kRegEbx, kRegEax, kRegEax, 2, 2);  // idx 2: distance 1 from idx 1
+  const auto s = producer_consumer_distance(tb.trace);
+  EXPECT_EQ(s.distance.total(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+}
+
+TEST(Distance, GeneratedWorkloadsHaveShortDistances) {
+  // Figure 13: IA-32 average producer-consumer distance is ~2-6 µops.
+  for (const char* app : {"gcc", "gzip", "parser"}) {
+    const Trace t = generate_trace(spec_profile(app), 30000);
+    const auto s = producer_consumer_distance(t);
+    EXPECT_GT(s.mean(), 1.0) << app;
+    EXPECT_LT(s.mean(), 10.0) << app;
+  }
+}
+
+class SpecTraceCharacter : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpecTraceCharacter, NarrowDependencyInPlausibleRange) {
+  const Trace t = generate_trace(spec_profile(GetParam()), 30000);
+  const auto s = narrow_dependency_stats(t);
+  // Figure 1 range across SPEC Int: roughly 25-90%.
+  EXPECT_GT(s.operands_narrow_dependent.percent(), 15.0);
+  EXPECT_LT(s.operands_narrow_dependent.percent(), 95.0);
+}
+
+TEST_P(SpecTraceCharacter, CarryMostlyConfined) {
+  const Trace t = generate_trace(spec_profile(GetParam()), 30000);
+  const auto s = carry_stats(t);
+  // Figure 11: substantial confinement for loads.
+  if (s.load_confined.den > 100) {
+    EXPECT_GT(s.load_confined.percent(), 30.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec, SpecTraceCharacter,
+                         ::testing::Values("bzip2", "gcc", "gzip", "mcf", "vpr"));
+
+}  // namespace
+}  // namespace hcsim

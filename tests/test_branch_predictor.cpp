@@ -1,0 +1,57 @@
+// Tests for the gshare branch predictor.
+#include <gtest/gtest.h>
+
+#include "predict/branch_predictor.hpp"
+
+namespace hcsim {
+namespace {
+
+TEST(BranchPredictor, LearnsAlwaysTaken) {
+  // gshare hashes the pc with the global history, so train long enough for
+  // the history register to reach its all-taken steady state.
+  BranchPredictor p;
+  for (int i = 0; i < 50; ++i) p.update(0x10, true);
+  EXPECT_TRUE(p.predict(0x10));
+}
+
+TEST(BranchPredictor, LearnsNeverTaken) {
+  BranchPredictor p;
+  for (int i = 0; i < 50; ++i) p.update(0x10, false);
+  EXPECT_FALSE(p.predict(0x10));
+}
+
+TEST(BranchPredictor, HighAccuracyOnLoopBranches) {
+  // Back edge taken 99 times, then not taken: classic loop pattern.
+  BranchPredictor p;
+  for (int loop = 0; loop < 50; ++loop) {
+    for (int i = 0; i < 99; ++i) p.update(0x20, true);
+    p.update(0x20, false);
+  }
+  EXPECT_GT(p.accuracy().value(), 0.95);
+}
+
+TEST(BranchPredictor, HistoryDisambiguatesAlternation) {
+  // Strict alternation is predictable through global history.
+  BranchPredictor p;
+  bool taken = false;
+  for (int i = 0; i < 4000; ++i) {
+    p.update(0x30, taken);
+    taken = !taken;
+  }
+  EXPECT_GT(p.accuracy().value(), 0.80);
+}
+
+TEST(BranchPredictor, AccuracyCountsAllUpdates) {
+  BranchPredictor p;
+  for (int i = 0; i < 10; ++i) p.update(0x40, true);
+  EXPECT_EQ(p.accuracy().den, 10u);
+}
+
+TEST(BranchPredictorDeath, RejectsNonPowerOfTwo) {
+  BranchPredictorConfig cfg;
+  cfg.entries = 1000;
+  EXPECT_DEATH({ BranchPredictor p(cfg); }, "power of two");
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,129 @@
+// Tests for the µop ISA: opcode properties, registers, encoding, disasm.
+#include <gtest/gtest.h>
+
+#include "isa/opcode.hpp"
+#include "isa/reg.hpp"
+#include "isa/uop.hpp"
+
+namespace hcsim {
+namespace {
+
+TEST(Opcode, TableCompleteAndConsistent) {
+  for (unsigned i = 0; i < kNumOpcodes; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    const OpcodeInfo& info = opcode_info(op);
+    EXPECT_FALSE(info.mnemonic.empty()) << i;
+    EXPECT_GT(info.latency_wide, 0u) << info.mnemonic;
+  }
+}
+
+TEST(Opcode, HelperHasNoFpOrLongLatencyUnits) {
+  // Section 2.1: the helper cluster has integer functional units only;
+  // Section 3.5: mul/div are ineligible.
+  EXPECT_FALSE(opcode_info(Opcode::kFpAdd).helper_capable);
+  EXPECT_FALSE(opcode_info(Opcode::kFpMul).helper_capable);
+  EXPECT_FALSE(opcode_info(Opcode::kFpDiv).helper_capable);
+  EXPECT_FALSE(opcode_info(Opcode::kMul).helper_capable);
+  EXPECT_FALSE(opcode_info(Opcode::kDiv).helper_capable);
+  EXPECT_TRUE(opcode_info(Opcode::kAdd).helper_capable);
+  EXPECT_TRUE(opcode_info(Opcode::kLoadByte).helper_capable);
+}
+
+TEST(Opcode, FlagSemantics) {
+  EXPECT_TRUE(opcode_info(Opcode::kCmp).writes_flags);
+  EXPECT_TRUE(opcode_info(Opcode::kTest).writes_flags);
+  EXPECT_TRUE(opcode_info(Opcode::kAdd).writes_flags);
+  EXPECT_FALSE(opcode_info(Opcode::kMov).writes_flags);
+  EXPECT_TRUE(opcode_info(Opcode::kBranchCond).reads_flags);
+  EXPECT_FALSE(opcode_info(Opcode::kJump).reads_flags);
+}
+
+TEST(Opcode, Classifiers) {
+  EXPECT_TRUE(is_memory(Opcode::kLoad));
+  EXPECT_TRUE(is_memory(Opcode::kStoreByte));
+  EXPECT_FALSE(is_memory(Opcode::kAdd));
+  EXPECT_TRUE(is_load(Opcode::kLoadByte));
+  EXPECT_FALSE(is_load(Opcode::kStore));
+  EXPECT_TRUE(is_store(Opcode::kStore));
+  EXPECT_TRUE(is_branch(Opcode::kBranchCond));
+  EXPECT_TRUE(is_branch(Opcode::kJump));
+  EXPECT_TRUE(is_fp(Opcode::kFpDiv));
+  EXPECT_FALSE(is_fp(Opcode::kDiv));
+}
+
+TEST(Opcode, LatencyOrdering) {
+  // div > mul > alu; fp div is the longest FP op.
+  EXPECT_GT(opcode_info(Opcode::kDiv).latency_wide, opcode_info(Opcode::kMul).latency_wide);
+  EXPECT_GT(opcode_info(Opcode::kMul).latency_wide, opcode_info(Opcode::kAdd).latency_wide);
+  EXPECT_GT(opcode_info(Opcode::kFpDiv).latency_wide, opcode_info(Opcode::kFpAdd).latency_wide);
+}
+
+TEST(Cond, EvalAllCodes) {
+  EXPECT_TRUE(eval_cond(kCondEq, 0));
+  EXPECT_FALSE(eval_cond(kCondEq, 1));
+  EXPECT_TRUE(eval_cond(kCondNe, 5));
+  EXPECT_FALSE(eval_cond(kCondNe, 0));
+  EXPECT_TRUE(eval_cond(kCondLt, 0x80000000u));
+  EXPECT_FALSE(eval_cond(kCondLt, 1));
+  EXPECT_TRUE(eval_cond(kCondGe, 0));
+  EXPECT_FALSE(eval_cond(kCondGe, 0xFFFFFFFFu));
+}
+
+TEST(Reg, Names) {
+  EXPECT_EQ(reg_name(kRegEax), "eax");
+  EXPECT_EQ(reg_name(kRegEsp), "esp");
+  EXPECT_EQ(reg_name(kRegT0), "t0");
+  EXPECT_EQ(reg_name(kRegT7), "t7");
+  EXPECT_EQ(reg_name(kRegFlags), "flags");
+  EXPECT_EQ(reg_name(kRegF0), "f0");
+  EXPECT_EQ(reg_name(static_cast<RegId>(200)), "r?");
+}
+
+TEST(Reg, Classifiers) {
+  EXPECT_TRUE(is_gpr(kRegEax));
+  EXPECT_TRUE(is_gpr(kRegT7));
+  EXPECT_FALSE(is_gpr(kRegFlags));
+  EXPECT_TRUE(is_flags(kRegFlags));
+  EXPECT_TRUE(is_fp(static_cast<RegId>(kRegF0 + 7)));
+  EXPECT_FALSE(is_fp(static_cast<RegId>(kRegF0 + 8)));
+}
+
+TEST(Uop, SourceCountAndAccessors) {
+  StaticUop u;
+  u.opcode = Opcode::kAdd;
+  u.dst = kRegEax;
+  u.srcs = {kRegEbx, kRegEcx, kRegNone};
+  EXPECT_EQ(u.num_srcs(), 2u);
+  EXPECT_TRUE(u.has_dst());
+  EXPECT_TRUE(u.writes_flags());
+  u.dst = kRegNone;
+  EXPECT_FALSE(u.has_dst());
+}
+
+TEST(Uop, Disassemble) {
+  StaticUop u;
+  u.opcode = Opcode::kAdd;
+  u.dst = kRegEax;
+  u.srcs = {kRegEbx, kRegNone, kRegNone};
+  u.has_imm = true;
+  u.imm = 4;
+  EXPECT_EQ(disassemble(u), "add eax, ebx, #4");
+}
+
+TEST(Uop, DisassembleNegativeImmediate) {
+  StaticUop u;
+  u.opcode = Opcode::kMovImm;
+  u.dst = kRegEcx;
+  u.has_imm = true;
+  u.imm = static_cast<u32>(-5);
+  EXPECT_EQ(disassemble(u), "movi ecx, #-5");
+}
+
+TEST(Uop, DisassembleNoOperands) {
+  StaticUop u;
+  u.opcode = Opcode::kNop;
+  EXPECT_EQ(disassemble(u), "nop");
+}
+
+}  // namespace
+}  // namespace hcsim

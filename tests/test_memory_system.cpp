@@ -1,0 +1,109 @@
+// Tests for the two-level hierarchy timing and the shared MOB.
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hpp"
+
+namespace hcsim {
+namespace {
+
+MemoryConfig table1() { return MemoryConfig{}; }
+
+TEST(MemorySystem, Dl0HitLatency) {
+  MemorySystem m(table1());
+  (void)m.access(0, 0x1000, false);  // cold miss, fills
+  const u64 done = m.access(100, 0x1000, false);
+  EXPECT_EQ(done, 100 + 3u);  // DL0 hit latency (Table 1)
+}
+
+TEST(MemorySystem, Ul1HitLatency) {
+  MemoryConfig cfg = table1();
+  MemorySystem m(cfg);
+  (void)m.access(0, 0x2000, false);  // miss everywhere, fills both
+  // Evict from DL0 by streaming a DL0-sized working set mapped widely.
+  for (u32 a = 0; a < cfg.dl0.size_bytes * 2; a += 64) (void)m.access(1, 0x100000 + a, false);
+  const u64 done = m.access(10000, 0x2000, false);
+  EXPECT_EQ(done, 10000 + 3 + 13u);  // DL0 miss -> UL1 hit
+}
+
+TEST(MemorySystem, MainMemoryLatency) {
+  MemorySystem m(table1());
+  const u64 done = m.access(50, 0x3000, false);
+  EXPECT_EQ(done, 50 + 3 + 13 + 450u);  // cold: DL0 + UL1 + memory
+}
+
+TEST(MemorySystem, PortsArePipelined) {
+  // Two DL0 ports: three simultaneous hits take two cycles of port time,
+  // not 2x the full latency.
+  MemorySystem m(table1());
+  (void)m.access(0, 0x4000, false);
+  (void)m.access(0, 0x4040, false);
+  (void)m.access(0, 0x4080, false);
+  const u64 a = m.access(100, 0x4000, false);
+  const u64 b = m.access(100, 0x4040, false);
+  const u64 c = m.access(100, 0x4080, false);
+  EXPECT_EQ(a, 103u);
+  EXPECT_EQ(b, 103u);
+  EXPECT_EQ(c, 104u);  // third access waits one cycle for a port
+}
+
+TEST(MemorySystem, StoreMissDoesNotPayFullMemoryRoundTrip) {
+  MemorySystem m(table1());
+  const u64 st = m.access(0, 0x9000, true);
+  EXPECT_LE(st, 0 + 3 + 13u);
+}
+
+TEST(Mob, ForwardFromOlderStore) {
+  Mob mob;
+  mob.add_store(/*seq=*/10, /*addr=*/0x100, /*ready=*/55);
+  const auto chk = mob.check_load(/*seq=*/12, 0x100);
+  EXPECT_TRUE(chk.forwarded);
+  EXPECT_EQ(chk.ready_cycle, 55u);
+}
+
+TEST(Mob, NoForwardFromYoungerStore) {
+  Mob mob;
+  mob.add_store(20, 0x100, 55);
+  const auto chk = mob.check_load(15, 0x100);
+  EXPECT_FALSE(chk.forwarded);
+}
+
+TEST(Mob, NoForwardDifferentWord) {
+  Mob mob;
+  mob.add_store(10, 0x100, 55);
+  EXPECT_FALSE(mob.check_load(12, 0x104).forwarded);
+  // Same word, different byte: forwards (word granularity).
+  EXPECT_TRUE(mob.check_load(12, 0x102).forwarded);
+}
+
+TEST(Mob, YoungestOlderStoreWins) {
+  Mob mob;
+  mob.add_store(10, 0x100, 55);
+  mob.add_store(11, 0x100, 77);
+  const auto chk = mob.check_load(12, 0x100);
+  EXPECT_TRUE(chk.forwarded);
+  EXPECT_EQ(chk.ready_cycle, 77u);
+}
+
+TEST(Mob, RetireRemovesOldStores) {
+  Mob mob;
+  mob.add_store(10, 0x100, 55);
+  mob.add_store(20, 0x200, 66);
+  mob.store_retired(10);
+  EXPECT_EQ(mob.size(), 1u);
+  EXPECT_FALSE(mob.check_load(30, 0x100).forwarded);
+  EXPECT_TRUE(mob.check_load(30, 0x200).forwarded);
+}
+
+TEST(Mob, SquashRemovesYoungStores) {
+  Mob mob;
+  mob.add_store(10, 0x100, 55);
+  mob.add_store(20, 0x200, 66);
+  mob.add_store(30, 0x300, 77);
+  mob.squash_from(20);
+  EXPECT_EQ(mob.size(), 1u);
+  EXPECT_TRUE(mob.check_load(40, 0x100).forwarded);
+  EXPECT_FALSE(mob.check_load(40, 0x200).forwarded);
+}
+
+}  // namespace
+}  // namespace hcsim

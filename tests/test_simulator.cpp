@@ -1,0 +1,72 @@
+// Tests for the simulation facade.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace hcsim {
+namespace {
+
+TEST(Simulator, CachedTraceReturnsSameObject) {
+  const WorkloadProfile& p = spec_profile("gcc");
+  const Trace& a = cached_trace(p, 5000);
+  const Trace& b = cached_trace(p, 5000);
+  EXPECT_EQ(&a, &b);
+  const Trace& c = cached_trace(p, 6000);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(Simulator, RunAppProducesBothMachines) {
+  const AppRun run = run_app(spec_profile("gcc"), steering_888(), 10000);
+  EXPECT_EQ(run.app, "gcc");
+  EXPECT_EQ(run.baseline.uops, 10000u);
+  EXPECT_EQ(run.helper.uops, 10000u);
+  EXPECT_EQ(run.baseline.config, "baseline");
+  EXPECT_EQ(run.helper.config, "8_8_8");
+  EXPECT_GT(run.speedup(), 0.0);
+  EXPECT_NEAR(run.perf_increase_pct(), (run.speedup() - 1.0) * 100.0, 1e-12);
+}
+
+TEST(Simulator, MultiRunSharesBaseline) {
+  const std::vector<SteeringConfig> cfgs = {steering_888(), steering_ir()};
+  const MultiRun run = run_app_configs(spec_profile("gzip"), cfgs, 10000);
+  ASSERT_EQ(run.configs.size(), 2u);
+  EXPECT_EQ(run.configs[0].config, "8_8_8");
+  EXPECT_EQ(run.configs[1].config, "8_8_8+BR+LR+CR+CP+IR");
+  EXPECT_EQ(run.baseline.uops, run.configs[0].uops);
+}
+
+TEST(Simulator, SpecSuiteCoversAllApps) {
+  const auto runs = run_spec_suite(steering_888(), 5000);
+  ASSERT_EQ(runs.size(), 12u);
+  std::set<std::string> names;
+  for (const auto& r : runs) names.insert(r.app);
+  EXPECT_EQ(names.size(), 12u);
+}
+
+TEST(Simulator, DescribeMachineMentionsTable1Parameters) {
+  const std::string s = describe_machine(helper_machine(steering_ir()));
+  EXPECT_NE(s.find("32 entry scheduler, 3 issue"), std::string::npos);
+  EXPECT_NE(s.find("32KB"), std::string::npos);
+  EXPECT_NE(s.find("4MB"), std::string::npos);
+  EXPECT_NE(s.find("450 cycles"), std::string::npos);
+  EXPECT_NE(s.find("8-bit"), std::string::npos);
+  EXPECT_NE(s.find("2x clock"), std::string::npos);
+}
+
+TEST(Simulator, BaselineDescriptionOmitsHelper) {
+  const std::string s = describe_machine(monolithic_baseline());
+  EXPECT_EQ(s.find("Helper cluster"), std::string::npos);
+}
+
+TEST(Simulator, DefaultTraceLenPositive) {
+  EXPECT_GT(default_trace_len(), 0u);
+}
+
+TEST(Simulator, MachineConfigFactories) {
+  EXPECT_FALSE(monolithic_baseline().steer.helper_enabled);
+  EXPECT_TRUE(helper_machine(steering_888()).steer.helper_enabled);
+  EXPECT_TRUE(helper_machine(steering_ir()).steer.ir);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,252 @@
+// Tests for the steering policies (the paper's Section 3 decision rules).
+#include <gtest/gtest.h>
+
+#include "steer/steering.hpp"
+
+namespace hcsim {
+namespace {
+
+StaticUop alu_uop(Opcode op = Opcode::kAdd, bool with_dst = true) {
+  StaticUop u;
+  u.opcode = op;
+  u.dst = with_dst ? kRegEax : kRegNone;
+  u.srcs = {kRegEbx, kRegEcx, kRegNone};
+  return u;
+}
+
+SteerContext narrow_ctx(const StaticUop& u) {
+  SteerContext ctx;
+  ctx.uop = &u;
+  ctx.helper_capable = opcode_info(u.opcode).helper_capable;
+  ctx.all_srcs_narrow = true;
+  ctx.result_pred_narrow = true;
+  ctx.result_confident = true;
+  return ctx;
+}
+
+TEST(Steering, BaselineAlwaysWide) {
+  SteeringPolicy p(steering_baseline());
+  const StaticUop u = alu_uop();
+  EXPECT_EQ(p.decide(narrow_ctx(u)), SteerDecision::kWide);
+}
+
+TEST(Steering, P888SteersAllNarrow) {
+  SteeringPolicy p(steering_888());
+  const StaticUop u = alu_uop();
+  EXPECT_EQ(p.decide(narrow_ctx(u)), SteerDecision::kHelper);
+}
+
+TEST(Steering, P888RequiresNarrowSources) {
+  SteeringPolicy p(steering_888());
+  const StaticUop u = alu_uop();
+  SteerContext ctx = narrow_ctx(u);
+  ctx.all_srcs_narrow = false;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kWide);
+}
+
+TEST(Steering, P888RequiresConfidence) {
+  // Low-confidence narrow predictions stay wide — this is the 2.11% -> 0.83%
+  // fatal-misprediction fix of Section 3.2.
+  SteeringPolicy p(steering_888());
+  const StaticUop u = alu_uop();
+  SteerContext ctx = narrow_ctx(u);
+  ctx.result_confident = false;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kWide);
+}
+
+TEST(Steering, P888RequiresNarrowResultOnlyIfDstExists) {
+  SteeringPolicy p(steering_888());
+  const StaticUop u = alu_uop(Opcode::kCmp, /*with_dst=*/false);
+  SteerContext ctx = narrow_ctx(u);
+  ctx.result_pred_narrow = false;  // irrelevant without a destination
+  ctx.result_confident = false;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kHelper);
+}
+
+TEST(Steering, HelperIncapableOpsStayWide) {
+  SteeringPolicy p(steering_888());
+  const StaticUop mul = alu_uop(Opcode::kMul);
+  EXPECT_EQ(p.decide(narrow_ctx(mul)), SteerDecision::kWide);
+  const StaticUop fp = alu_uop(Opcode::kFpAdd);
+  EXPECT_EQ(p.decide(narrow_ctx(fp)), SteerDecision::kWide);
+}
+
+TEST(Steering, BranchesStayWideWithout_BR) {
+  SteeringPolicy p(steering_888());
+  StaticUop br;
+  br.opcode = Opcode::kBranchCond;
+  br.srcs = {kRegFlags, kRegNone, kRegNone};
+  SteerContext ctx = narrow_ctx(br);
+  ctx.flags_producer_in_helper = true;
+  ctx.frontend_resolvable = true;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kWide);
+}
+
+TEST(Steering, BrFollowsHelperFlagsProducer) {
+  SteeringPolicy p(steering_888_br());
+  StaticUop br;
+  br.opcode = Opcode::kBranchCond;
+  br.srcs = {kRegFlags, kRegNone, kRegNone};
+  SteerContext ctx = narrow_ctx(br);
+  ctx.frontend_resolvable = true;
+  ctx.flags_producer_in_helper = true;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kHelper);
+  ctx.flags_producer_in_helper = false;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kWide);
+}
+
+TEST(Steering, BrNeedsFrontendResolvableTarget) {
+  SteeringPolicy p(steering_888_br());
+  StaticUop br;
+  br.opcode = Opcode::kBranchCond;
+  SteerContext ctx = narrow_ctx(br);
+  ctx.flags_producer_in_helper = true;
+  ctx.frontend_resolvable = false;  // e.g. an indirect branch
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kWide);
+}
+
+TEST(Steering, CrSteersCarryConfinedMixedWidth) {
+  SteeringPolicy p(steering_888_br_lr_cr());
+  const StaticUop u = alu_uop();
+  SteerContext ctx = narrow_ctx(u);
+  ctx.all_srcs_narrow = false;  // one wide source
+  ctx.cr_shape = true;
+  ctx.carry_pred_confined = true;
+  ctx.carry_confident = true;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kHelperCr);
+}
+
+TEST(Steering, CrNeedsConfidentConfinementPrediction) {
+  SteeringPolicy p(steering_888_br_lr_cr());
+  const StaticUop u = alu_uop();
+  SteerContext ctx = narrow_ctx(u);
+  ctx.all_srcs_narrow = false;
+  ctx.cr_shape = true;
+  ctx.carry_pred_confined = true;
+  ctx.carry_confident = false;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kWide);
+  ctx.carry_confident = true;
+  ctx.carry_pred_confined = false;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kWide);
+}
+
+TEST(Steering, CrDisabledInEarlierSchemes) {
+  SteeringPolicy p(steering_888_br_lr());
+  const StaticUop u = alu_uop();
+  SteerContext ctx = narrow_ctx(u);
+  ctx.all_srcs_narrow = false;
+  ctx.cr_shape = true;
+  ctx.carry_pred_confined = true;
+  ctx.carry_confident = true;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kWide);
+}
+
+TEST(Steering, IrSplitsOnImbalance) {
+  SteeringPolicy p(steering_ir());
+  const StaticUop u = alu_uop();
+  SteerContext ctx = narrow_ctx(u);
+  ctx.all_srcs_narrow = false;  // wide op, not otherwise steerable
+  ctx.iq_occ_wide = 30;
+  ctx.iq_size_wide = 32;
+  ctx.iq_occ_helper = 0;
+  ctx.iq_size_helper = 32;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kSplit);
+}
+
+TEST(Steering, IrRespectsTriggerThresholds) {
+  SteeringPolicy p(steering_ir());
+  const StaticUop u = alu_uop();
+  SteerContext ctx = narrow_ctx(u);
+  ctx.all_srcs_narrow = false;
+  ctx.iq_occ_wide = 2;  // wide not congested
+  ctx.iq_occ_helper = 0;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kWide);
+  ctx.iq_occ_wide = 30;
+  ctx.iq_occ_helper = 30;  // helper busy
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kWide);
+}
+
+TEST(Steering, IrNodestSplitsOnlyDestlessUops) {
+  SteeringPolicy p(steering_ir_nodest());
+  SteerContext ctx;
+  const StaticUop with_dst = alu_uop(Opcode::kAdd, true);
+  const StaticUop no_dst = alu_uop(Opcode::kCmp, false);
+  ctx = narrow_ctx(with_dst);
+  ctx.all_srcs_narrow = false;
+  ctx.iq_occ_wide = 30;
+  ctx.iq_occ_helper = 0;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kWide);
+  ctx = narrow_ctx(no_dst);
+  ctx.all_srcs_narrow = false;
+  ctx.iq_occ_wide = 30;
+  ctx.iq_occ_helper = 0;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kSplit);
+}
+
+TEST(Steering, IrNeverSplitsMemoryOrLongLatencyOps) {
+  SteeringPolicy p(steering_ir());
+  for (Opcode op : {Opcode::kLoad, Opcode::kStore, Opcode::kMul, Opcode::kDiv}) {
+    StaticUop u = alu_uop(op, op != Opcode::kStore);
+    SteerContext ctx = narrow_ctx(u);
+    ctx.all_srcs_narrow = false;
+    ctx.result_pred_narrow = false;
+    ctx.iq_occ_wide = 30;
+    ctx.iq_occ_helper = 0;
+    EXPECT_NE(p.decide(ctx), SteerDecision::kSplit) << opcode_info(op).mnemonic;
+  }
+}
+
+TEST(Steering, OverloadThrottleSendsNarrowWorkWide) {
+  SteeringPolicy p(steering_ir());  // throttle enabled with IR
+  const StaticUop u = alu_uop();
+  SteerContext ctx = narrow_ctx(u);
+  ctx.iq_occ_helper = 32;
+  ctx.iq_size_helper = 32;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kWide);
+  ctx.iq_occ_helper = 0;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kHelper);
+}
+
+TEST(Steering, ThrottleDisabledInNonIrSchemes) {
+  SteeringPolicy p(steering_cp());
+  const StaticUop u = alu_uop();
+  SteerContext ctx = narrow_ctx(u);
+  ctx.iq_occ_helper = 32;
+  ctx.iq_size_helper = 32;
+  EXPECT_EQ(p.decide(ctx), SteerDecision::kHelper);
+}
+
+
+TEST(Steering, IrBlockConfig) {
+  const SteeringConfig c = steering_ir_block();
+  EXPECT_TRUE(c.ir);
+  EXPECT_TRUE(c.ir_block);
+  EXPECT_GT(c.ir_block_len, 0u);
+  EXPECT_EQ(c.describe(), "8_8_8+BR+LR+CR+CP+IR(block)");
+}
+
+TEST(Steering, ConfigDescriptions) {
+  EXPECT_EQ(steering_baseline().describe(), "baseline");
+  EXPECT_EQ(steering_888().describe(), "8_8_8");
+  EXPECT_EQ(steering_888_br().describe(), "8_8_8+BR");
+  EXPECT_EQ(steering_888_br_lr().describe(), "8_8_8+BR+LR");
+  EXPECT_EQ(steering_888_br_lr_cr().describe(), "8_8_8+BR+LR+CR");
+  EXPECT_EQ(steering_cp().describe(), "8_8_8+BR+LR+CR+CP");
+  EXPECT_EQ(steering_ir().describe(), "8_8_8+BR+LR+CR+CP+IR");
+  EXPECT_EQ(steering_ir_nodest().describe(), "8_8_8+BR+LR+CR+CP+IR(nodest)");
+}
+
+TEST(Steering, CumulativeConfigsStackFeatures) {
+  EXPECT_FALSE(steering_888().br);
+  EXPECT_TRUE(steering_888_br().br);
+  EXPECT_TRUE(steering_888_br_lr().lr);
+  EXPECT_FALSE(steering_888_br_lr().cr);
+  EXPECT_TRUE(steering_888_br_lr_cr().cr);
+  EXPECT_TRUE(steering_cp().cp);
+  EXPECT_TRUE(steering_ir().ir);
+  EXPECT_FALSE(steering_ir().ir_nodest_only);
+  EXPECT_TRUE(steering_ir_nodest().ir_nodest_only);
+}
+
+}  // namespace
+}  // namespace hcsim

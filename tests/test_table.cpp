@@ -1,0 +1,49 @@
+// Tests for the bench table renderer.
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+namespace hcsim {
+namespace {
+
+TEST(TextTable, RenderAligned) {
+  TextTable t({"app", "value"});
+  t.add_row({"gcc", "1.5"});
+  t.add_row({"bzip2", "10.25"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("app"), std::string::npos);
+  EXPECT_NE(out.find("bzip2"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW({ const auto s = t.render(); (void)s; });
+}
+
+TEST(TextTable, Csv) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
+  EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+}
+
+TEST(AsciiBar, Scaling) {
+  EXPECT_EQ(ascii_bar(10, 10, 10).size(), 10u);
+  EXPECT_EQ(ascii_bar(5, 10, 10).size(), 5u);
+  EXPECT_EQ(ascii_bar(0, 10, 10).size(), 0u);
+  // Clamped, never exceeds width.
+  EXPECT_EQ(ascii_bar(100, 10, 10).size(), 10u);
+  // Degenerate max treated as 1.
+  EXPECT_EQ(ascii_bar(1, 0, 10).size(), 10u);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,96 @@
+// hcsim_run — simulate a saved trace (or a named profile) on a steering
+// configuration and print the full result, including the power report.
+//
+// Usage:
+//   hcsim_run <trace.hctrace|profile-name> [scheme] [n_uops]
+//
+// scheme: baseline 888 br lr cr cp ir irn      (default: ir)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "power/power_model.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hcsim;
+
+namespace {
+
+SteeringConfig scheme_by_name(const std::string& s) {
+  if (s == "baseline") return steering_baseline();
+  if (s == "888") return steering_888();
+  if (s == "br") return steering_888_br();
+  if (s == "lr") return steering_888_br_lr();
+  if (s == "cr") return steering_888_br_lr_cr();
+  if (s == "cp") return steering_cp();
+  if (s == "irn") return steering_ir_nodest();
+  return steering_ir();
+}
+
+bool is_spec_name(const std::string& s) {
+  for (const WorkloadProfile& p : spec_int_2000_profiles())
+    if (p.name == s) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.hctrace|profile> [scheme] [n_uops]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string source = argv[1];
+  const SteeringConfig steer = scheme_by_name(argc > 2 ? argv[2] : "ir");
+  const u64 n = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : default_trace_len();
+
+  Trace owned;
+  const Trace* trace = nullptr;
+  if (is_spec_name(source)) {
+    trace = &cached_trace(spec_profile(source), n);
+  } else {
+    if (!load_trace(owned, source)) {
+      std::fprintf(stderr, "'%s' is neither a SPEC profile nor a readable trace\n",
+                   source.c_str());
+      return 1;
+    }
+    trace = &owned;
+  }
+
+  const MachineConfig cfg =
+      steer.helper_enabled ? helper_machine(steer) : monolithic_baseline();
+  std::printf("%s", describe_machine(cfg).c_str());
+  const SimResult r = simulate(cfg, *trace);
+  const PowerReport power = analyze_power(r, cfg);
+
+  std::printf("\nworkload      : %s (%llu uops)\n", r.workload.c_str(),
+              static_cast<unsigned long long>(r.uops));
+  std::printf("config        : %s\n", r.config.c_str());
+  std::printf("wide cycles   : %.0f   IPC %.3f\n", r.wide_cycles, r.ipc);
+  std::printf("steered       : %.1f%% (BR %llu, CR %llu, splits %llu)\n",
+              100.0 * r.helper_frac(), (unsigned long long)r.br_steered,
+              (unsigned long long)r.cr_steered, (unsigned long long)r.split_uops);
+  std::printf("copies        : %.1f%% (w2n %llu, n2w %llu, prefetched %llu)\n",
+              100.0 * r.copy_frac(), (unsigned long long)r.copies_w2n,
+              (unsigned long long)r.copies_n2w,
+              (unsigned long long)r.copy_prefetches);
+  std::printf("width pred    : %.2f%% correct, %.3f%% fatal\n",
+              100.0 * r.wp_accuracy(), 100.0 * r.fatal_rate());
+  std::printf("branches      : %llu (%.2f%% mispredicted)\n",
+              (unsigned long long)r.branches,
+              r.branches ? 100.0 * static_cast<double>(r.branch_mispredicts) /
+                               static_cast<double>(r.branches)
+                         : 0.0);
+  std::printf("caches        : DL0 %.1f%%, UL1 %.1f%% hit\n",
+              100.0 * r.dl0_hit_rate, 100.0 * r.ul1_hit_rate);
+  std::printf("NREADY        : w2n %.1f%%  n2w %.1f%%\n", r.nready_w2n_pct(),
+              r.nready_n2w_pct());
+  std::printf("energy        : %.0f (frontend %.0f, wide %.0f, helper %.0f, "
+              "mem %.0f, clock %.0f, copies %.0f)\n",
+              power.energy, power.frontend, power.wide_backend,
+              power.helper_backend, power.memory, power.clock, power.copies);
+  std::printf("ED^2          : %.3g\n", power.ed2p);
+  return 0;
+}
