@@ -1,7 +1,8 @@
 // Section 3.7 (end) — energy-delay^2 comparison of the baseline with the
 // helper cluster in its most resource-aggressive configuration (IR).
+// Driven by the exp/ sweep engine ("edp": 12 apps x {IR}), which computes
+// the power reports alongside each simulation.
 #include "bench_util.hpp"
-#include "power/power_model.hpp"
 
 using namespace hcsim;
 using namespace hcsim::bench;
@@ -10,17 +11,18 @@ int main() {
   header("Energy-delay^2 - baseline vs helper cluster (IR configuration)",
          "helper cluster is 5.1% more energy-delay^2 efficient than baseline");
 
+  const exp::SweepResult res = run_named_sweep("edp");
+
   TextTable t({"app", "E base", "E helper", "D ratio", "ED2 gain %"});
   std::vector<double> gains, e_ratio;
-  for (const std::string& app : spec_names()) {
-    const AppRun run = run_app(spec_profile(app), steering_ir());
-    const PowerReport pb = analyze_power(run.baseline, monolithic_baseline());
-    const PowerReport ph = analyze_power(run.helper, helper_machine(steering_ir()));
-    const double gain = 100.0 * (1.0 - ph.ed2p / pb.ed2p);
+  for (const exp::PointResult& pr : res.points) {
+    const double gain = pr.ed2p_gain_pct();
     gains.push_back(gain);
-    e_ratio.push_back(ph.energy / pb.energy);
-    t.add_row({app, TextTable::num(pb.energy, 0), TextTable::num(ph.energy, 0),
-               TextTable::num(ph.delay / pb.delay, 3), TextTable::num(gain, 1)});
+    e_ratio.push_back(pr.power_sim.energy / pr.power_baseline.energy);
+    t.add_row({pr.point.profile.name, TextTable::num(pr.power_baseline.energy, 0),
+               TextTable::num(pr.power_sim.energy, 0),
+               TextTable::num(pr.power_sim.delay / pr.power_baseline.delay, 3),
+               TextTable::num(gain, 1)});
   }
   t.add_row({"AVG", "", "", "", TextTable::num(avg(gains), 1)});
   std::printf("%s\n", t.render().c_str());

@@ -1,4 +1,5 @@
 // Figure 6 — performance of the 8-8-8 scheme per SPEC Int 2000 app.
+// Driven by the exp/ sweep engine ("fig06": 12 apps x {8_8_8}).
 #include "bench_util.hpp"
 
 using namespace hcsim;
@@ -8,15 +9,17 @@ int main() {
   header("Figure 6 - performance of the 8_8_8 scheme",
          "+6.2% average; bzip2 worst (high copy/narrow ratio), gcc best (low)");
 
+  const exp::SweepResult res = run_named_sweep("fig06");
+
   TextTable t({"app", "perf increase %", "copy/narrow ratio", "bar"});
   std::vector<double> gains;
   double bzip2_gain = 0, bzip2_ratio = 0, gcc_ratio = 0;
-  for (const std::string& app : spec_names()) {
-    const AppRun run = run_app(spec_profile(app), steering_888());
-    const double g = run.perf_increase_pct();
-    const double ratio = run.helper.to_helper
-                             ? static_cast<double>(run.helper.copies) /
-                                   static_cast<double>(run.helper.to_helper)
+  for (const exp::PointResult& pr : res.points) {
+    const std::string& app = pr.point.profile.name;
+    const double g = pr.perf_increase_pct();
+    const double ratio = pr.sim.to_helper
+                             ? static_cast<double>(pr.sim.copies) /
+                                   static_cast<double>(pr.sim.to_helper)
                              : 0.0;
     gains.push_back(g);
     if (app == "bzip2") { bzip2_gain = g; bzip2_ratio = ratio; }

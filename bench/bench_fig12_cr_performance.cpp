@@ -1,5 +1,6 @@
 // Figure 12 — performance of the Carry Not Propagated (CR) scheme:
-// 8_8_8 vs 8_8_8+BR+LR+CR per app.
+// 8_8_8 vs 8_8_8+BR+LR+CR per app. Driven by the exp/ sweep engine
+// ("fig12": 12 apps x {8_8_8, 8_8_8+BR+LR+CR}).
 #include "bench_util.hpp"
 
 using namespace hcsim;
@@ -10,18 +11,24 @@ int main() {
          "47.5% of instructions execute in the helper with 15.7% copies; "
          "+14.5% average performance (vs +6.2% for plain 8_8_8)");
 
-  const std::vector<SteeringConfig> cfgs = {steering_888(), steering_888_br_lr_cr()};
+  const exp::SweepResult res = run_named_sweep("fig12");
+
+  // Grid order is app-major: points[2*a] is 8_8_8, points[2*a+1] is +BR+LR+CR.
   TextTable t({"app", "8_8_8 %", "8_8_8+BR+LR+CR %"});
   std::vector<double> g0s, g1s, steered, copies;
-  for (const std::string& app : spec_names()) {
-    const MultiRun run = run_app_configs(spec_profile(app), cfgs);
-    const double g0 = (run.configs[0].speedup_vs(run.baseline) - 1.0) * 100.0;
-    const double g1 = (run.configs[1].speedup_vs(run.baseline) - 1.0) * 100.0;
-    g0s.push_back(g0);
-    g1s.push_back(g1);
-    steered.push_back(100.0 * run.configs[1].helper_frac());
-    copies.push_back(100.0 * run.configs[1].copy_frac());
-    t.add_row({app, TextTable::num(g0, 1), TextTable::num(g1, 1)});
+  HCSIM_CHECK(res.points.size() % 2 == 0, "fig12 sweep must have 2 variants per app");
+  for (std::size_t i = 0; i + 1 < res.points.size(); i += 2) {
+    const exp::PointResult& p0 = res.points[i];
+    const exp::PointResult& p1 = res.points[i + 1];
+    HCSIM_CHECK(p0.point.workload_idx == p1.point.workload_idx &&
+                    p0.point.variant_idx == 0 && p1.point.variant_idx == 1,
+                "fig12 sweep grid no longer pairs {8_8_8, +BR+LR+CR} per app");
+    g0s.push_back(p0.perf_increase_pct());
+    g1s.push_back(p1.perf_increase_pct());
+    steered.push_back(100.0 * p1.sim.helper_frac());
+    copies.push_back(100.0 * p1.sim.copy_frac());
+    t.add_row({p0.point.profile.name, TextTable::num(g0s.back(), 1),
+               TextTable::num(g1s.back(), 1)});
   }
   t.add_row({"AVG", TextTable::num(avg(g0s), 1), TextTable::num(avg(g1s), 1)});
   std::printf("%s\n", t.render().c_str());

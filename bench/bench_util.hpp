@@ -11,7 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
 #include "sim/simulator.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace hcsim::bench {
@@ -28,12 +32,7 @@ inline void footer_shape(bool ok, const std::string& what) {
 }
 
 /// Average of per-app values.
-inline double avg(const std::vector<double>& v) {
-  if (v.empty()) return 0.0;
-  double s = 0;
-  for (double x : v) s += x;
-  return s / static_cast<double>(v.size());
-}
+inline double avg(const std::vector<double>& v) { return exp::mean(v); }
 
 /// The SPEC Int 2000 app order used by every per-app figure.
 inline const std::vector<std::string>& spec_names() {
@@ -41,6 +40,24 @@ inline const std::vector<std::string>& spec_names() {
       "bzip2", "crafty", "eon", "gap", "gcc", "gzip",
       "mcf",   "parser", "perlbmk", "twolf", "vortex", "vpr"};
   return kNames;
+}
+
+/// Thread count for sweep-driven benches: HCSIM_SWEEP_THREADS, default all
+/// hardware threads (results are thread-count independent; see exp/runner).
+inline exp::RunOptions sweep_options() {
+  exp::RunOptions opts;
+  const unsigned long long threads = env_u64("HCSIM_SWEEP_THREADS", 0);
+  HCSIM_CHECK(threads <= 4096, "HCSIM_SWEEP_THREADS out of range");
+  opts.threads = static_cast<unsigned>(threads);
+  return opts;
+}
+
+/// Run a named sweep (exp::find_sweep) on the parallel runner. Aborts if the
+/// name is unknown — benches reference registry sweeps by construction.
+inline exp::SweepResult run_named_sweep(const std::string& name) {
+  auto spec = exp::find_sweep(name);
+  HCSIM_CHECK(spec.has_value(), "unknown sweep: " + name);
+  return exp::run_sweep(*spec, sweep_options());
 }
 
 }  // namespace hcsim::bench

@@ -1,0 +1,53 @@
+// hcsim — sweep aggregation and machine-readable reporting.
+//
+// Replaces the per-bench hand-rolled loops-and-printf: a finished
+// SweepResult aggregates into per-variant summaries (mean/geomean speedup,
+// helper occupancy, copy pressure, EDP/ED^2 gains) and serializes to CSV
+// (one row per point, stable column order) or JSON (points + summaries +
+// run metadata) for offline plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace hcsim::exp {
+
+/// Geometric mean; 0.0 for an empty input or any non-positive element.
+double geomean(const std::vector<double>& v);
+
+/// Arithmetic mean; 0.0 for an empty input.
+double mean(const std::vector<double>& v);
+
+/// Aggregate statistics of every point sharing one ConfigVariant.
+struct VariantSummary {
+  std::string config;
+  u64 n_points = 0;
+  double mean_speedup = 0.0;
+  double geomean_speedup = 0.0;
+  double mean_perf_pct = 0.0;        // (speedup-1)*100, averaged
+  double mean_wide_cycle_speedup = 0.0;
+  double mean_helper_pct = 0.0;      // % of µops executed in the helper
+  double mean_copy_pct = 0.0;        // copies as % of µops
+  double mean_edp_gain_pct = 0.0;
+  double mean_ed2p_gain_pct = 0.0;
+};
+
+/// One summary per variant, in the sweep's variant order.
+std::vector<VariantSummary> summarize(const SweepResult& result);
+
+/// CSV with one row per point, in grid order. Deterministic: contains no
+/// timing or thread-count metadata, so serial and parallel runs of the same
+/// sweep produce byte-identical output.
+std::string to_csv(const SweepResult& result);
+
+/// JSON document: {"sweep", "threads", "wall_seconds", "points": [...],
+/// "summary": [...]}. The "points" and "summary" arrays are deterministic;
+/// the metadata fields describe this particular run.
+std::string to_json(const SweepResult& result);
+
+/// Human-readable per-variant summary table (TextTable-rendered).
+std::string render_summary(const SweepResult& result);
+
+}  // namespace hcsim::exp

@@ -14,15 +14,26 @@ u64 default_trace_len() {
 }
 
 const Trace& cached_trace(const WorkloadProfile& profile, u64 n_records) {
+  // Two-level locking so concurrent sweep runners (src/exp/runner.cpp) can
+  // generate *different* traces in parallel: the map mutex only guards
+  // entry lookup/insertion, while each entry's once_flag serializes the
+  // (expensive) generation of that one trace. std::map node references are
+  // stable, so the entry stays valid for the process lifetime.
+  struct Entry {
+    std::once_flag once;
+    Trace trace;
+  };
   using Key = std::tuple<std::string, u64, u64>;
-  static std::map<Key, Trace> cache;
+  static std::map<Key, Entry> cache;
   static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
-  const Key key{profile.name, profile.seed, n_records};
-  auto it = cache.find(key);
-  if (it == cache.end())
-    it = cache.emplace(key, generate_trace(profile, n_records)).first;
-  return it->second;
+
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    entry = &cache.try_emplace(Key{profile.name, profile.seed, n_records}).first->second;
+  }
+  std::call_once(entry->once, [&] { entry->trace = generate_trace(profile, n_records); });
+  return entry->trace;
 }
 
 AppRun run_app(const WorkloadProfile& profile, const SteeringConfig& steer,

@@ -1,0 +1,168 @@
+// hcsim_sweep — run a named experiment sweep on the thread-pool runner and
+// emit the aggregated report, optionally mirrored to CSV/JSON for plotting.
+//
+// Usage:
+//   hcsim_sweep list
+//   hcsim_sweep <sweep> [--threads N] [--len N] [--seeds s1,s2,...]
+//                       [--csv FILE] [--json FILE] [--quiet]
+//
+// sweep: fig06 fig12 cumulative edp helper_design smoke
+// --threads 0 uses every hardware thread; --threads 1 (default) runs
+// serially. Results are identical across thread counts.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+
+using namespace hcsim;
+using namespace hcsim::exp;
+
+namespace {
+
+/// Sanity cap on worker threads (also guards the u64 -> unsigned narrowing).
+constexpr unsigned kMaxThreads = 4096;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <sweep|list> [--threads N] [--len N] [--seeds s1,s2,...]\n"
+               "          [--csv FILE] [--json FILE] [--quiet]\n"
+               "sweeps:",
+               argv0);
+  for (const std::string& n : sweep_names()) std::fprintf(stderr, " %s", n.c_str());
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << content;
+  return f.good();
+}
+
+/// Parse one decimal integer, rejecting trailing garbage ("100k") and,
+/// unless `allow_zero`, the value 0.
+u64 parse_u64(const char* flag, const char* s, bool allow_zero) {
+  char* end = nullptr;
+  const u64 v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || (!allow_zero && v == 0)) {
+    std::fprintf(stderr, "%s: bad value '%s' (%s integer required)\n", flag, s,
+                 allow_zero ? "non-negative" : "positive");
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Parse "s1,s2,..." as positive integers. Exits with a usage error on
+/// malformed input or a 0 value — seed 0 is the runner's "keep the
+/// profile's own seed" placeholder, never a valid explicit seed.
+std::vector<u64> parse_u64_list(const char* flag, const char* s) {
+  std::vector<u64> out;
+  for (const char* p = s; *p;) {
+    char* end = nullptr;
+    const u64 v = std::strtoull(p, &end, 10);
+    if (end == p || (*end != '\0' && *end != ',') || v == 0) {
+      std::fprintf(stderr, "%s: bad value in list '%s' (positive integers only)\n",
+                   flag, s);
+      std::exit(2);
+    }
+    out.push_back(v);
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "%s: empty list\n", flag);
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string sweep_name = argv[1];
+  if (sweep_name == "list") {
+    for (const std::string& n : sweep_names()) {
+      const auto spec = find_sweep(n);
+      if (!spec) continue;  // unreachable: names come from the same table
+      std::printf("%-14s %3llu points (%zu apps x %zu configs)\n", n.c_str(),
+                  static_cast<unsigned long long>(spec->num_points()),
+                  spec->workloads.size(), spec->variants.size());
+    }
+    return 0;
+  }
+
+  auto spec = find_sweep(sweep_name);
+  if (!spec) {
+    std::fprintf(stderr, "unknown sweep '%s'\n", sweep_name.c_str());
+    return usage(argv[0]);
+  }
+
+  RunOptions opts;
+  std::string csv_path, json_path;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      const u64 threads = parse_u64("--threads", next(), /*allow_zero=*/true);
+      if (threads > kMaxThreads) {
+        std::fprintf(stderr, "--threads: %llu exceeds the limit of %u\n",
+                     static_cast<unsigned long long>(threads), kMaxThreads);
+        return 2;
+      }
+      opts.threads = static_cast<unsigned>(threads);
+    } else if (arg == "--len") {
+      spec->trace_lens = {parse_u64("--len", next(), /*allow_zero=*/false)};
+    } else if (arg == "--seeds") {
+      spec->seeds = parse_u64_list("--seeds", next());
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  if (!quiet) {
+    opts.on_point = [](const PointResult& pr, u64 done, u64 total) {
+      std::fprintf(stderr, "[%3llu/%3llu] %-8s %-24s speedup %.3f\n",
+                   static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(total),
+                   pr.point.profile.name.c_str(), pr.point.variant.name.c_str(),
+                   pr.speedup());
+    };
+  }
+
+  const SweepResult result = run_sweep(*spec, opts);
+
+  std::printf("sweep %s: %zu points, %u thread%s, %.2fs\n", result.sweep.c_str(),
+              result.points.size(), result.threads_used,
+              result.threads_used == 1 ? "" : "s", result.wall_seconds);
+  std::printf("%s\n", render_summary(result).c_str());
+
+  if (!csv_path.empty() && !write_file(csv_path, to_csv(result))) {
+    std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
+    return 1;
+  }
+  if (!json_path.empty() && !write_file(json_path, to_json(result))) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
