@@ -1,0 +1,64 @@
+# CLI round-trip test (ctest): generate a trace twice, dump both, and demand
+# byte-identical artifacts; also smoke the hcrv frontend on a bundled kernel.
+# Variables: GEN (hctrace_gen), DUMP (hctrace_dump), HCRV (hcrv), WORK_DIR.
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc
+                  WORKING_DIRECTORY ${WORK_DIR}
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+function(capture out_var)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  WORKING_DIRECTORY ${WORK_DIR}
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# Two independent generations of the same profile must be bit-identical.
+run_checked(${GEN} gcc 5000 a.hctrace)
+run_checked(${GEN} gcc 5000 b.hctrace)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/a.hctrace ${WORK_DIR}/b.hctrace
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "hctrace_gen is not deterministic: a.hctrace != b.hctrace")
+endif()
+
+# The dump of both must agree (load path + formatting determinism).
+capture(dump_a ${DUMP} a.hctrace 32)
+capture(dump_b ${DUMP} b.hctrace 32)
+if(NOT dump_a STREQUAL dump_b)
+  message(FATAL_ERROR "hctrace_dump outputs differ for identical traces")
+endif()
+string(FIND "${dump_a}" "dynamic uops" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "hctrace_dump output missing expected header:\n${dump_a}")
+endif()
+
+# RV frontend round-trip: hcrv trace -> hctrace_dump must load and identify
+# the kernel, twice, byte-identically.
+run_checked(${HCRV} trace crc32 -o rv_a.trace --budget 20000)
+run_checked(${HCRV} trace crc32 -o rv_b.trace --budget 20000)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/rv_a.trace ${WORK_DIR}/rv_b.trace
+                RESULT_VARIABLE rv_same)
+if(NOT rv_same EQUAL 0)
+  message(FATAL_ERROR "hcrv trace is not deterministic")
+endif()
+capture(rv_dump ${DUMP} rv_a.trace 8)
+string(FIND "${rv_dump}" "trace 'crc32'" rv_found)
+if(rv_found EQUAL -1)
+  message(FATAL_ERROR "hctrace_dump could not identify the hcrv trace:\n${rv_dump}")
+endif()
+
+message(STATUS "tools round-trip OK")

@@ -1,0 +1,38 @@
+# bsort — bubble sort of 96 bytes, full O(n^2) passes.
+# Byte compares drive taken/not-taken data-dependent branches (hard for the
+# predictor), and the swap path stresses byte store-to-load forwarding.
+.text
+main:
+    li   a0, 96             # n
+    addi a1, a0, -1         # outer counter
+outer:
+    la   a2, arr
+    li   a3, 0              # swapped flag
+    mv   a4, a1             # inner counter
+inner:
+    lbu  a5, 0(a2)
+    lbu  a6, 1(a2)
+    bgeu a6, a5, no_swap    # in order?
+    sb   a6, 0(a2)
+    sb   a5, 1(a2)
+    li   a3, 1
+no_swap:
+    addi a2, a2, 1
+    addi a4, a4, -1
+    bnez a4, inner
+    beqz a3, sorted         # early exit when already sorted
+    addi a1, a1, -1
+    bnez a1, outer
+sorted:
+    la   a2, arr            # return first element (smallest)
+    lbu  a0, 0(a2)
+    ret
+
+.data
+arr:
+    .byte 96, 95, 94, 93, 92, 91, 90, 89, 88, 87, 86, 85, 84, 83, 82, 81
+    .byte 80, 79, 78, 77, 76, 75, 74, 73, 72, 71, 70, 69, 68, 67, 66, 65
+    .byte 64, 63, 62, 61, 60, 59, 58, 57, 56, 55, 54, 53, 52, 51, 50, 49
+    .byte 48, 47, 46, 45, 44, 43, 42, 41, 40, 39, 38, 37, 36, 35, 34, 33
+    .byte 32, 31, 30, 29, 28, 27, 26, 25, 24, 23, 22, 21, 20, 19, 18, 17
+    .byte 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1

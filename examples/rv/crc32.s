@@ -1,0 +1,31 @@
+# crc32 — bitwise CRC-32 (reflected polynomial 0xEDB88320) over a 512-byte
+# message. The inner bit loop mixes a wide running CRC with narrow byte data
+# and single-bit masks: width-predictable narrow chains against wide xors.
+.text
+main:
+    la   a0, msg
+    li   a1, 512            # message bytes
+    li   a2, -1             # crc = 0xFFFFFFFF
+    li   a6, 0xEDB88320     # polynomial
+byte_loop:
+    lbu  a3, 0(a0)
+    xor  a2, a2, a3
+    li   a4, 8              # bit counter
+bit_loop:
+    andi a5, a2, 1
+    srli a2, a2, 1
+    beqz a5, no_poly
+    xor  a2, a2, a6
+no_poly:
+    addi a4, a4, -1
+    bnez a4, bit_loop
+    addi a0, a0, 1
+    addi a1, a1, -1
+    bnez a1, byte_loop
+    not  a0, a2             # final crc
+    ret
+
+.data
+msg:
+    .byte 0x31, 0x32, 0x33, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39
+    .zero 503

@@ -1,0 +1,42 @@
+# dot — integer dot product of two 256-element byte vectors, 8 passes.
+# Byte loads with a shared induction variable; the accumulator grows wide
+# while the element chains stay narrow (classic 8+32 CR shape on indexing).
+.text
+main:
+    li   a7, 8              # passes
+    li   a0, 0              # accumulator
+pass:
+    la   a1, vec_a
+    la   a2, vec_b
+    li   a3, 256            # elements
+elem:
+    lbu  a4, 0(a1)
+    lbu  a5, 0(a2)
+    mul_step:               # 8-bit multiply via shift-add (RV32I has no mul)
+    li   a6, 0
+    li   t0, 8
+mul_loop:
+    andi t1, a5, 1
+    beqz t1, mul_skip
+    add  a6, a6, a4
+mul_skip:
+    slli a4, a4, 1
+    srli a5, a5, 1
+    addi t0, t0, -1
+    bnez t0, mul_loop
+    add  a0, a0, a6
+    addi a1, a1, 1
+    addi a2, a2, 1
+    addi a3, a3, -1
+    bnez a3, elem
+    addi a7, a7, -1
+    bnez a7, pass
+    ret
+
+.data
+vec_a:
+    .byte 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+    .zero 240
+vec_b:
+    .byte 2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5
+    .zero 240

@@ -1,0 +1,30 @@
+# fib — recursive fibonacci(17) with a real call stack.
+# Exercises jal/jalr cracking (link-register movimm + jump), stack
+# loads/stores through sp, and deeply data-dependent narrow arithmetic.
+.text
+main:
+    li   a0, 17
+    call fib
+    ecall                   # call clobbered ra: halt explicitly
+
+fib:
+    li   t0, 2
+    blt  a0, t0, base       # fib(0)=0, fib(1)=1
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    mv   s0, a0             # save n
+    addi a0, a0, -1
+    call fib                # fib(n-1)
+    sw   a0, 4(sp)          # spill partial sum
+    addi a0, s0, -2
+    call fib                # fib(n-2)
+    lw   t1, 4(sp)
+    add  a0, a0, t1
+    lw   s0, 8(sp)
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+base_ret:
+    ret
+base:
+    ret                     # a0 already 0 or 1

@@ -1,0 +1,36 @@
+# hist — 16-bin byte histogram over a 2 KiB buffer, 8 passes.
+# The classic read-modify-write indexing pattern: a narrow value (bin index)
+# scaled into a wide base address — the 8+32->32 shape the CR scheme covers.
+.text
+main:
+    li   a6, 8              # passes
+pass:
+    la   a0, buf
+    li   a1, 2048           # bytes
+scan:
+    lbu  a2, 0(a0)
+    andi a2, a2, 15         # bin = byte & 15
+    slli a2, a2, 2          # word offset
+    la   a3, bins
+    add  a3, a3, a2
+    lw   a4, 0(a3)
+    addi a4, a4, 1
+    sw   a4, 0(a3)
+    addi a0, a0, 1
+    addi a1, a1, -1
+    bnez a1, scan
+    addi a6, a6, -1
+    bnez a6, pass
+    # return the count of bin 0
+    la   a3, bins
+    lw   a0, 0(a3)
+    ret
+
+.data
+buf:
+    .byte 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15
+    .byte 1, 3, 5, 7, 9, 11, 13, 15, 0, 2, 4, 6, 8, 10, 12, 14
+    .zero 2016
+.align 2
+bins:
+    .zero 64

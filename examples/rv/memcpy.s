@@ -1,0 +1,37 @@
+# memcpy — byte-wise copy of a 4 KiB buffer, repeated over 4 passes.
+# Byte loads/stores with small induction variables: prime LR territory
+# (8-bit loads replicate into both register files) and narrow steering.
+.text
+main:
+    li   a4, 4              # passes
+pass:
+    la   a0, src            # src cursor
+    la   a1, dst            # dst cursor
+    li   a2, 4096           # bytes remaining
+copy:
+    lbu  a3, 0(a0)
+    sb   a3, 0(a1)
+    addi a0, a0, 1
+    addi a1, a1, 1
+    addi a2, a2, -1
+    bnez a2, copy
+    addi a4, a4, -1
+    bnez a4, pass
+    # checksum the first 16 destination bytes so the copy is observable
+    la   a1, dst
+    li   a2, 16
+    li   a0, 0
+check:
+    lbu  a3, 0(a1)
+    add  a0, a0, a3
+    addi a1, a1, 1
+    addi a2, a2, -1
+    bnez a2, check
+    ret
+
+.data
+src:
+    .byte 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+    .zero 4080
+dst:
+    .zero 4096

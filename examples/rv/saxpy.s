@@ -1,0 +1,36 @@
+# saxpy — integer y[i] = a*x[i] + y[i] over 512 byte elements, 16 passes,
+# with a = 7 strength-reduced to shifts/adds. Narrow element math against
+# wide pointer arithmetic keeps both clusters busy.
+.text
+main:
+    li   a7, 16             # passes
+pass:
+    la   a0, xvec
+    la   a1, yvec
+    li   a2, 512            # elements
+elem:
+    lbu  a3, 0(a0)
+    slli a4, a3, 3          # 8*x
+    sub  a4, a4, a3         # 7*x
+    lbu  a5, 0(a1)
+    add  a4, a4, a5
+    andi a4, a4, 0xFF       # stay a byte vector
+    sb   a4, 0(a1)
+    addi a0, a0, 1
+    addi a1, a1, 1
+    addi a2, a2, -1
+    bnez a2, elem
+    addi a7, a7, -1
+    bnez a7, pass
+    # return the final first element
+    la   a1, yvec
+    lbu  a0, 0(a1)
+    ret
+
+.data
+xvec:
+    .byte 1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8
+    .zero 496
+yvec:
+    .byte 9, 8, 7, 6, 5, 4, 3, 2, 9, 8, 7, 6, 5, 4, 3, 2
+    .zero 496

@@ -1,0 +1,27 @@
+# strlen — C-string scan over a long text, repeated over 64 passes.
+# Byte loads feeding compare-and-branch: the cracked cmp+jcc pairs give the
+# BR scheme a stream of narrow flags producers to chase.
+.text
+main:
+    li   a5, 64             # passes
+    li   a0, 0              # accumulated length
+pass:
+    la   a1, text
+loop:
+    lbu  a2, 0(a1)
+    beqz a2, done
+    addi a1, a1, 1
+    addi a0, a0, 1
+    j    loop
+done:
+    addi a5, a5, -1
+    bnez a5, pass
+    ret
+
+.data
+    .zero 512               # keep the string above address 256: the cursor
+                            # stays wide, so pointer chasing loads balance
+                            # onto the wide cluster while byte compares and
+                            # counters fill the helper
+text:
+    .asciz "the quick brown fox jumps over the lazy dog while the helper cluster executes narrow bytes at double clock and the wide cluster keeps the pointers"

@@ -1,5 +1,6 @@
 #include "exp/sweep.hpp"
 
+#include "rv/kernels.hpp"
 #include "sim/simulator.hpp"
 #include "util/log.hpp"
 
@@ -126,6 +127,16 @@ SweepSpec make_helper_design() {
   return s;
 }
 
+SweepSpec make_rv() {
+  // Every bundled RISC-V kernel across the cumulative steering ladder: the
+  // real-program counterpart of the `cumulative` sweep.
+  SweepSpec s;
+  s.name = "rv";
+  s.workloads = rv::rv_workload_profiles();
+  s.variants = cumulative_scheme_variants();
+  return s;
+}
+
 SweepSpec make_smoke() {
   SweepSpec s;
   s.name = "smoke";
@@ -144,7 +155,8 @@ struct NamedSweep {
 constexpr NamedSweep kSweeps[] = {
     {"fig06", make_fig06},   {"fig12", make_fig12},
     {"cumulative", make_cumulative}, {"edp", make_edp},
-    {"helper_design", make_helper_design}, {"smoke", make_smoke},
+    {"helper_design", make_helper_design}, {"rv", make_rv},
+    {"smoke", make_smoke},
 };
 
 }  // namespace

@@ -67,7 +67,7 @@ std::vector<ExperimentPoint> expand(const SweepSpec& spec);
 // --- named sweeps (used by the hcsim_sweep CLI and the benches) -----------
 
 /// Registry of predefined sweeps: fig06, fig12, cumulative, edp,
-/// helper_design, smoke.
+/// helper_design, rv (bundled RISC-V kernels x cumulative ladder), smoke.
 const std::vector<std::string>& sweep_names();
 
 /// Look up a predefined sweep. std::nullopt if the name is unknown.

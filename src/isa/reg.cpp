@@ -9,9 +9,15 @@ std::string_view reg_name(RegId r) {
                                               "t4",  "t5",  "t6",  "t7"};
   static constexpr std::string_view kFp[] = {"f0", "f1", "f2", "f3",
                                              "f4", "f5", "f6", "f7"};
-  if (is_gpr(r)) return kGpr[r];
+  static constexpr std::string_view kRv[] = {
+      "x0",  "x1",  "x2",  "x3",  "x4",  "x5",  "x6",  "x7",
+      "x8",  "x9",  "x10", "x11", "x12", "x13", "x14", "x15",
+      "x16", "x17", "x18", "x19", "x20", "x21", "x22", "x23",
+      "x24", "x25", "x26", "x27", "x28", "x29", "x30", "x31"};
+  if (r < kNumIntRegs) return kGpr[r];
   if (is_flags(r)) return "flags";
   if (is_fp(r)) return kFp[r - kRegF0];
+  if (is_rv(r)) return kRv[r - kRegX0];
   return "r?";
 }
 

@@ -42,11 +42,22 @@ inline constexpr RegId kRegFlags = 16;
 // FP stack registers (wide cluster only).
 inline constexpr RegId kRegF0 = 17;
 inline constexpr unsigned kNumFpRegs = 8;
-inline constexpr unsigned kNumRegs = 17 + kNumFpRegs;  // GPRs + flags + FP
+// RV32I architectural registers (src/rv frontend). RISC-V programs are
+// cracked into the same µop namespace, but their 32 integer registers get a
+// dedicated block so IA-32 and RV32I traces never alias register state and
+// disassembly stays unambiguous. x0 is never a destination (the cracker
+// drops writes to it), so it behaves as the architectural constant zero.
+inline constexpr RegId kRegX0 = kRegF0 + kNumFpRegs;  // 25
+inline constexpr unsigned kNumRvRegs = 32;
+inline constexpr unsigned kNumRegs =
+    17 + kNumFpRegs + kNumRvRegs;  // GPRs + flags + FP + RV32I
 
 inline constexpr RegId kRegNone = 0xFF;
 
-constexpr bool is_gpr(RegId r) { return r < kNumIntRegs; }
+constexpr bool is_rv(RegId r) { return r >= kRegX0 && r < kRegX0 + kNumRvRegs; }
+// RV32I registers are general-purpose too: the width machinery tracks them
+// exactly like the IA-32 GPRs/temporaries.
+constexpr bool is_gpr(RegId r) { return r < kNumIntRegs || is_rv(r); }
 constexpr bool is_flags(RegId r) { return r == kRegFlags; }
 constexpr bool is_fp(RegId r) { return r >= kRegF0 && r < kRegF0 + kNumFpRegs; }
 

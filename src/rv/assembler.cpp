@@ -1,0 +1,706 @@
+#include "rv/assembler.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace hcsim::rv {
+namespace {
+
+struct Stmt {
+  int line = 0;
+  bool is_data = false;
+  std::string mnem;              // lowercase mnemonic or ".directive"
+  std::vector<std::string> ops;  // operand tokens, comma-split, trimmed
+  u32 addr = 0;                  // byte address (assigned at the end of pass 1)
+  u32 size = 0;                  // bytes occupied
+};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool valid_label(std::string_view s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_' && s[0] != '.')
+    return false;
+  for (char c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '.')
+      return false;
+  return true;
+}
+
+/// Parse a decimal/hex integer literal (optional sign). Accepts the full
+/// u32 range; the value is returned as the 32-bit two's-complement pattern.
+bool parse_int(std::string_view t, i64& out) {
+  t = trim(t);
+  if (t.empty()) return false;
+  bool neg = false;
+  if (t[0] == '-' || t[0] == '+') {
+    neg = t[0] == '-';
+    t.remove_prefix(1);
+    if (t.empty()) return false;
+  }
+  int base = 10;
+  if (t.size() > 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+    base = 16;
+    t.remove_prefix(2);
+  }
+  i64 v = 0;
+  for (char c : t) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (base == 16 && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (base == 16 && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return false;
+    v = v * base + digit;
+    if (v > 0x1'0000'0000LL) return false;  // clamp: anything past u32 is an error
+  }
+  out = neg ? -v : v;
+  return out >= -0x8000'0000LL && out <= 0xFFFF'FFFFLL;
+}
+
+bool parse_string_literal(std::string_view t, std::string& out) {
+  t = trim(t);
+  if (t.size() < 2 || t.front() != '"' || t.back() != '"') return false;
+  out.clear();
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    char c = t[i];
+    if (c == '\\' && i + 2 < t.size()) {
+      ++i;
+      switch (t[i]) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case '0': c = '\0'; break;
+        case '\\': c = '\\'; break;
+        case '"': c = '"'; break;
+        default: return false;
+      }
+    }
+    out.push_back(c);
+  }
+  return true;
+}
+
+RvOp op_by_name(std::string_view name) {
+  for (unsigned i = 1; i < kNumRvOps; ++i)
+    if (mnemonic(static_cast<RvOp>(i)) == name) return static_cast<RvOp>(i);
+  return RvOp::kIllegal;
+}
+
+bool fits_simm12(i64 v) { return v >= -2048 && v <= 2047; }
+
+class Assembler {
+ public:
+  AsmResult run(const std::string& name, std::string_view source) {
+    result_.program.name = name;
+    if (!tokenize(source)) return std::move(result_);
+    if (!layout()) return std::move(result_);
+    if (!emit()) return std::move(result_);
+    return std::move(result_);
+  }
+
+ private:
+  AsmResult result_;
+  std::vector<Stmt> stmts_;
+  u32 text_size_ = 0;
+  u32 data_size_ = 0;
+  u32 data_base_ = 0;
+
+  bool fail(int line, const std::string& msg) {
+    std::ostringstream os;
+    os << "line " << line << ": " << msg;
+    result_.error = os.str();
+    return false;
+  }
+
+  // --- pass 0: split source into labeled statements -----------------------
+  bool tokenize(std::string_view source) {
+    bool in_data = false;
+    int line_no = 0;
+    std::size_t pos = 0;
+    // Labels waiting for the next statement of their section; a label binds
+    // to the *next emitted byte* of the section active when it appears.
+    std::vector<std::pair<std::string, int>> pending;
+    std::vector<bool> pending_is_data;
+
+    auto bind_pending = [&](u32 stmt_index) -> bool {
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        auto& [label, lline] = pending[i];
+        if (result_.program.symbols.count(label))
+          return fail(lline, "duplicate label '" + label + "'");
+        // Temporarily record the statement index; fixed up after layout.
+        result_.program.symbols[label] = stmt_index;
+        label_stmt_.emplace_back(label, stmt_index);
+      }
+      pending.clear();
+      pending_is_data.clear();
+      return true;
+    };
+
+    while (pos <= source.size()) {
+      const std::size_t eol = source.find('\n', pos);
+      std::string_view line = source.substr(
+          pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+      pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+      ++line_no;
+
+      // Strip comments ('#', ';', '//'), but not inside string literals —
+      // `.asciz "a#b"` is valid.
+      {
+        bool in_quote = false;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+          const char ch = line[i];
+          if (in_quote) {
+            if (ch == '\\') ++i;  // skip the escaped char
+            else if (ch == '"') in_quote = false;
+            continue;
+          }
+          if (ch == '"') { in_quote = true; continue; }
+          if (ch == '#' || ch == ';' ||
+              (ch == '/' && i + 1 < line.size() && line[i + 1] == '/')) {
+            line = line.substr(0, i);
+            break;
+          }
+        }
+      }
+      line = trim(line);
+
+      // Peel off leading "label:" prefixes.
+      for (;;) {
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos) break;
+        const std::string_view candidate = trim(line.substr(0, colon));
+        if (!valid_label(candidate)) break;
+        pending.emplace_back(std::string(candidate), line_no);
+        pending_is_data.push_back(in_data);
+        line = trim(line.substr(colon + 1));
+      }
+      if (line.empty()) continue;
+
+      // Mnemonic = first whitespace-delimited token; the rest are operands.
+      std::size_t sp = 0;
+      while (sp < line.size() && !std::isspace(static_cast<unsigned char>(line[sp])))
+        ++sp;
+      Stmt st;
+      st.line = line_no;
+      st.mnem = std::string(line.substr(0, sp));
+      for (char& c : st.mnem) c = static_cast<char>(std::tolower(c));
+      std::string_view rest = trim(line.substr(sp));
+
+      // Section switches, including the ".section .data" GNU spelling.
+      bool is_section_switch = st.mnem == ".text" || st.mnem == ".data";
+      bool switch_to_data = st.mnem == ".data";
+      if (st.mnem == ".section") {
+        is_section_switch = true;
+        // ".text" stays text; .data/.rodata/.bss and friends are all data.
+        switch_to_data = rest.find("text") == std::string_view::npos;
+      }
+      if (is_section_switch) {
+        // A label straddling a section switch would silently bind to the
+        // wrong section's next statement; reject it.
+        if (!pending.empty())
+          return fail(pending.front().second,
+                      "label '" + pending.front().first + "' precedes a section switch");
+        in_data = switch_to_data;
+        continue;
+      }
+      if (st.mnem == ".globl" || st.mnem == ".global" || st.mnem == ".p2align")
+        continue;  // accepted and ignored
+
+      st.is_data = in_data;
+      // .asciz operands contain commas inside quotes: keep as one token.
+      if (st.mnem == ".asciz" || st.mnem == ".string") {
+        st.ops.emplace_back(rest);
+      } else {
+        while (!rest.empty()) {
+          const std::size_t comma = rest.find(',');
+          st.ops.emplace_back(trim(rest.substr(0, comma)));
+          if (st.ops.back().empty()) return fail(line_no, "empty operand");
+          if (comma == std::string_view::npos) break;
+          rest = rest.substr(comma + 1);
+        }
+      }
+      if (!bind_pending(static_cast<u32>(stmts_.size()))) return false;
+      stmts_.push_back(std::move(st));
+    }
+    // Trailing labels bind to the end of their section.
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const auto& [label, lline] = pending[i];
+      if (result_.program.symbols.count(label))
+        return fail(lline, "duplicate label '" + label + "'");
+      result_.program.symbols[label] = kEndOfSection;
+      label_stmt_.emplace_back(label, kEndOfSection);
+      trailing_label_in_data_.push_back(pending_is_data[i]);
+    }
+    return true;
+  }
+
+  // --- pass 1: size statements, assign addresses, resolve labels ----------
+  bool layout() {
+    for (Stmt& st : stmts_) {
+      u32& off = st.is_data ? data_size_ : text_size_;
+      st.addr = off;  // section-relative for now
+      u32 size = 0;
+      if (st.mnem[0] == '.') {
+        if (!directive_size(st, off, size)) return false;
+      } else {
+        if (st.is_data) return fail(st.line, "instruction in .data section");
+        if (!inst_size(st, size)) return false;
+      }
+      st.size = size;
+      off += size;
+    }
+    if (text_size_ == 0) {
+      result_.error = "program has no instructions";
+      return false;
+    }
+    data_base_ = (text_size_ + kSectionAlign - 1u) & ~(kSectionAlign - 1u);
+
+    // Rewrite symbol values from statement indices to byte addresses.
+    std::size_t trailing = 0;
+    for (std::size_t i = 0; i < label_stmt_.size(); ++i) {
+      const auto& [label, idx] = label_stmt_[i];
+      u32 addr;
+      if (idx == kEndOfSection) {
+        const bool in_data = trailing_label_in_data_[trailing++];
+        addr = in_data ? data_base_ + data_size_ : text_size_;
+      } else {
+        const Stmt& st = stmts_[idx];
+        addr = st.addr + (st.is_data ? data_base_ : 0u);
+      }
+      result_.program.symbols[label] = addr;
+    }
+    for (Stmt& st : stmts_)
+      if (st.is_data) st.addr += data_base_;
+
+    result_.program.text_bytes = text_size_;
+    result_.program.image.assign(data_base_ + data_size_, 0);
+    return true;
+  }
+
+  bool directive_size(const Stmt& st, u32 off, u32& size) {
+    if (st.mnem == ".word") { size = 4u * static_cast<u32>(st.ops.size()); return true; }
+    if (st.mnem == ".half") { size = 2u * static_cast<u32>(st.ops.size()); return true; }
+    if (st.mnem == ".byte") { size = static_cast<u32>(st.ops.size()); return true; }
+    if (st.mnem == ".zero" || st.mnem == ".space") {
+      i64 n = 0;
+      if (st.ops.size() != 1 || !parse_int(st.ops[0], n) || n < 0 || n > (1 << 24))
+        return fail(st.line, st.mnem + " needs one non-negative size");
+      size = static_cast<u32>(n);
+      return true;
+    }
+    if (st.mnem == ".asciz" || st.mnem == ".string") {
+      std::string s;
+      if (st.ops.size() != 1 || !parse_string_literal(st.ops[0], s))
+        return fail(st.line, "bad string literal");
+      size = static_cast<u32>(s.size()) + 1u;
+      return true;
+    }
+    if (st.mnem == ".align") {
+      // Padding is computed against the section-relative offset; both
+      // sections start at a kSectionAlign boundary (text at 0, data at
+      // data_base_), so exponents up to log2(kSectionAlign) hold for the
+      // absolute address too. Larger requests would be silently wrong.
+      i64 p = 0;
+      if (st.ops.size() != 1 || !parse_int(st.ops[0], p) || p < 0 || p > 4)
+        return fail(st.line, ".align needs a power-of-two exponent in [0,4]");
+      const u32 a = 1u << p;
+      size = (a - (off % a)) % a;
+      return true;
+    }
+    return fail(st.line, "unknown directive '" + st.mnem + "'");
+  }
+
+  /// Pseudo-instructions with a non-trivial expansion size. Everything else
+  /// is 4 bytes.
+  bool inst_size(const Stmt& st, u32& size) {
+    size = 4;
+    if (st.mnem == "li") {
+      i64 v = 0;
+      if (st.ops.size() != 2 || !parse_int(st.ops[1], v))
+        return fail(st.line, "li needs 'rd, integer'");
+      if (!fits_simm12(static_cast<i32>(v))) size = 8;
+      return true;
+    }
+    if (st.mnem == "la") size = 8;
+    return true;
+  }
+
+  // --- pass 2: encode ------------------------------------------------------
+  bool emit() {
+    for (const Stmt& st : stmts_) {
+      if (st.mnem[0] == '.') {
+        if (!emit_directive(st)) return false;
+      } else {
+        if (!emit_inst(st)) return false;
+      }
+    }
+    return true;
+  }
+
+  void put_bytes(u32 addr, u64 v, unsigned n) {
+    for (unsigned i = 0; i < n; ++i)
+      result_.program.image[addr + i] = static_cast<u8>((v >> (8 * i)) & 0xFF);
+  }
+
+  bool emit_directive(const Stmt& st) {
+    auto& img = result_.program.image;
+    if (st.mnem == ".word" || st.mnem == ".half" || st.mnem == ".byte") {
+      const unsigned n = st.mnem == ".word" ? 4 : st.mnem == ".half" ? 2 : 1;
+      u32 addr = st.addr;
+      for (const std::string& opnd : st.ops) {
+        i64 v = 0;
+        if (!parse_int(opnd, v)) {
+          // Labels are valid .word initializers (jump tables, pointers).
+          const auto it = result_.program.symbols.find(opnd);
+          if (n != 4 || it == result_.program.symbols.end())
+            return fail(st.line, "bad " + st.mnem + " value '" + opnd + "'");
+          v = it->second;
+        }
+        put_bytes(addr, static_cast<u64>(v), n);
+        addr += n;
+      }
+      return true;
+    }
+    if (st.mnem == ".asciz" || st.mnem == ".string") {
+      std::string s;
+      if (!parse_string_literal(st.ops[0], s)) return fail(st.line, "bad string");
+      for (std::size_t i = 0; i < s.size(); ++i)
+        img[st.addr + i] = static_cast<u8>(s[i]);
+      img[st.addr + s.size()] = 0;
+      return true;
+    }
+    return true;  // .zero/.space/.align: already zero-filled
+  }
+
+  bool reg(const Stmt& st, const std::string& t, u8& out) {
+    const int r = parse_rv_reg(t);
+    if (r < 0) return fail(st.line, "bad register '" + t + "'");
+    out = static_cast<u8>(r);
+    return true;
+  }
+
+  bool imm(const Stmt& st, const std::string& t, i64& out) {
+    if (parse_int(t, out)) return true;
+    const auto it = result_.program.symbols.find(t);
+    if (it != result_.program.symbols.end()) {
+      out = it->second;
+      return true;
+    }
+    return fail(st.line, "bad immediate or unknown symbol '" + t + "'");
+  }
+
+  /// "off(reg)" or "(reg)" or "symbol" (absolute, base x0).
+  bool mem_operand(const Stmt& st, const std::string& t, u8& base, i64& off) {
+    const std::size_t open = t.find('(');
+    if (open == std::string::npos) {
+      base = 0;
+      return imm(st, t, off);
+    }
+    if (t.back() != ')') return fail(st.line, "bad memory operand '" + t + "'");
+    const std::string off_str(trim(std::string_view(t).substr(0, open)));
+    const std::string reg_str(
+        trim(std::string_view(t).substr(open + 1, t.size() - open - 2)));
+    off = 0;
+    if (!off_str.empty() && !imm(st, off_str, off)) return false;
+    return reg(st, reg_str, base);
+  }
+
+  /// Branch/jump target: label or absolute address; returns pc-relative.
+  bool target(const Stmt& st, const std::string& t, i64& rel) {
+    i64 abs = 0;
+    if (!imm(st, t, abs)) return false;
+    // Control flow must land on an instruction; a data label (or the
+    // end-of-text sentinel) is a programming error worth a line number.
+    if (abs < 0 || abs >= static_cast<i64>(text_size_))
+      return fail(st.line, "branch target '" + t + "' is not in .text");
+    rel = abs - static_cast<i64>(st.addr);
+    if (rel & 3) return fail(st.line, "misaligned branch target '" + t + "'");
+    return true;
+  }
+
+  bool check_range(const Stmt& st, i64 v, i64 lo, i64 hi, const char* what) {
+    if (v < lo || v > hi) {
+      std::ostringstream os;
+      os << what << " " << v << " out of range [" << lo << ", " << hi << "]";
+      return fail(st.line, os.str());
+    }
+    return true;
+  }
+
+  void encode_at(u32 addr, const RvInst& inst) {
+    put_bytes(addr, encode(inst), 4);
+  }
+
+  bool expect_ops(const Stmt& st, std::size_t n) {
+    if (st.ops.size() != n) {
+      std::ostringstream os;
+      os << "'" << st.mnem << "' expects " << n << " operand(s), got "
+         << st.ops.size();
+      return fail(st.line, os.str());
+    }
+    return true;
+  }
+
+  /// li expansion shared by li and la: addi, or lui+addi.
+  void emit_load_imm(u32 addr, u8 rd, u32 value, bool force_wide) {
+    const i32 sv = static_cast<i32>(value);
+    if (!force_wide && fits_simm12(sv)) {
+      encode_at(addr, {RvOp::kAddi, rd, 0, 0, sv});
+      return;
+    }
+    const u32 hi = (value + 0x800u) & 0xFFFFF000u;
+    const i32 lo = static_cast<i32>(value - hi);  // in [-2048, 2047]
+    encode_at(addr, {RvOp::kLui, rd, 0, 0, static_cast<i32>(hi)});
+    encode_at(addr + 4, {RvOp::kAddi, rd, rd, 0, lo});
+  }
+
+  bool emit_inst(const Stmt& st) {
+    u8 rd = 0, rs1 = 0, rs2 = 0;
+    i64 v = 0;
+
+    // ---- pseudo-instructions, alphabetical --------------------------------
+    const std::string& m = st.mnem;
+    if (m == "nop") {
+      if (!expect_ops(st, 0)) return false;
+      encode_at(st.addr, {RvOp::kAddi, 0, 0, 0, 0});
+      return true;
+    }
+    if (m == "li" || m == "la") {
+      if (!expect_ops(st, 2) || !reg(st, st.ops[0], rd)) return false;
+      if (m == "la") {
+        const auto it = result_.program.symbols.find(st.ops[1]);
+        if (it == result_.program.symbols.end())
+          return fail(st.line, "la: unknown symbol '" + st.ops[1] + "'");
+        emit_load_imm(st.addr, rd, it->second, /*force_wide=*/true);
+      } else {
+        if (!parse_int(st.ops[1], v)) return fail(st.line, "li needs an integer");
+        emit_load_imm(st.addr, rd, static_cast<u32>(v), st.size == 8);
+      }
+      return true;
+    }
+    if (m == "mv") {
+      if (!expect_ops(st, 2) || !reg(st, st.ops[0], rd) || !reg(st, st.ops[1], rs1))
+        return false;
+      encode_at(st.addr, {RvOp::kAddi, rd, rs1, 0, 0});
+      return true;
+    }
+    if (m == "not") {
+      if (!expect_ops(st, 2) || !reg(st, st.ops[0], rd) || !reg(st, st.ops[1], rs1))
+        return false;
+      encode_at(st.addr, {RvOp::kXori, rd, rs1, 0, -1});
+      return true;
+    }
+    if (m == "neg") {
+      if (!expect_ops(st, 2) || !reg(st, st.ops[0], rd) || !reg(st, st.ops[1], rs2))
+        return false;
+      encode_at(st.addr, {RvOp::kSub, rd, 0, rs2, 0});
+      return true;
+    }
+    if (m == "seqz" || m == "snez" || m == "sltz" || m == "sgtz") {
+      if (!expect_ops(st, 2) || !reg(st, st.ops[0], rd) || !reg(st, st.ops[1], rs1))
+        return false;
+      if (m == "seqz") encode_at(st.addr, {RvOp::kSltiu, rd, rs1, 0, 1});
+      if (m == "snez") encode_at(st.addr, {RvOp::kSltu, rd, 0, rs1, 0});
+      if (m == "sltz") encode_at(st.addr, {RvOp::kSlt, rd, rs1, 0, 0});
+      if (m == "sgtz") encode_at(st.addr, {RvOp::kSlt, rd, 0, rs1, 0});
+      return true;
+    }
+    if (m == "j" || m == "call") {
+      if (!expect_ops(st, 1) || !target(st, st.ops[0], v)) return false;
+      if (!check_range(st, v, -(1 << 20), (1 << 20) - 1, "jump offset")) return false;
+      encode_at(st.addr,
+                {RvOp::kJal, static_cast<u8>(m == "call" ? 1 : 0), 0, 0,
+                 static_cast<i32>(v)});
+      return true;
+    }
+    if (m == "jr") {
+      if (!expect_ops(st, 1) || !reg(st, st.ops[0], rs1)) return false;
+      encode_at(st.addr, {RvOp::kJalr, 0, rs1, 0, 0});
+      return true;
+    }
+    if (m == "ret") {
+      if (!expect_ops(st, 0)) return false;
+      encode_at(st.addr, {RvOp::kJalr, 0, 1, 0, 0});
+      return true;
+    }
+    if (m == "beqz" || m == "bnez" || m == "bltz" || m == "bgez" || m == "blez" ||
+        m == "bgtz") {
+      if (!expect_ops(st, 2) || !reg(st, st.ops[0], rs1) ||
+          !target(st, st.ops[1], v))
+        return false;
+      if (!check_range(st, v, -4096, 4095, "branch offset")) return false;
+      const i32 off = static_cast<i32>(v);
+      RvInst inst;
+      if (m == "beqz") inst = {RvOp::kBeq, 0, rs1, 0, off};
+      if (m == "bnez") inst = {RvOp::kBne, 0, rs1, 0, off};
+      if (m == "bltz") inst = {RvOp::kBlt, 0, rs1, 0, off};
+      if (m == "bgez") inst = {RvOp::kBge, 0, rs1, 0, off};
+      if (m == "blez") inst = {RvOp::kBge, 0, 0, rs1, off};  // 0 >= rs1
+      if (m == "bgtz") inst = {RvOp::kBlt, 0, 0, rs1, off};  // 0 < rs1
+      encode_at(st.addr, inst);
+      return true;
+    }
+    if (m == "bgt" || m == "ble" || m == "bgtu" || m == "bleu") {
+      if (!expect_ops(st, 3) || !reg(st, st.ops[0], rs1) || !reg(st, st.ops[1], rs2) ||
+          !target(st, st.ops[2], v))
+        return false;
+      if (!check_range(st, v, -4096, 4095, "branch offset")) return false;
+      const i32 off = static_cast<i32>(v);
+      // Swap operands: bgt a,b == blt b,a.
+      RvInst inst;
+      if (m == "bgt") inst = {RvOp::kBlt, 0, rs2, rs1, off};
+      if (m == "ble") inst = {RvOp::kBge, 0, rs2, rs1, off};
+      if (m == "bgtu") inst = {RvOp::kBltu, 0, rs2, rs1, off};
+      if (m == "bleu") inst = {RvOp::kBgeu, 0, rs2, rs1, off};
+      encode_at(st.addr, inst);
+      return true;
+    }
+
+    // ---- base instructions -------------------------------------------------
+    const RvOp op = op_by_name(m);
+    if (op == RvOp::kIllegal) return fail(st.line, "unknown mnemonic '" + m + "'");
+
+    switch (op) {
+      case RvOp::kLui:
+      case RvOp::kAuipc: {
+        if (!expect_ops(st, 2) || !reg(st, st.ops[0], rd) || !imm(st, st.ops[1], v))
+          return false;
+        if (!check_range(st, v, 0, 0xFFFFF, "20-bit immediate")) return false;
+        encode_at(st.addr, {op, rd, 0, 0, static_cast<i32>(v << 12)});
+        return true;
+      }
+      case RvOp::kJal: {
+        if (st.ops.size() == 1) {  // "jal label" == "jal ra, label"
+          rd = 1;
+          if (!target(st, st.ops[0], v)) return false;
+        } else {
+          if (!expect_ops(st, 2) || !reg(st, st.ops[0], rd) ||
+              !target(st, st.ops[1], v))
+            return false;
+        }
+        if (!check_range(st, v, -(1 << 20), (1 << 20) - 1, "jump offset"))
+          return false;
+        encode_at(st.addr, {op, rd, 0, 0, static_cast<i32>(v)});
+        return true;
+      }
+      case RvOp::kJalr: {
+        if (st.ops.size() == 1) {  // "jalr rs1" == "jalr ra, 0(rs1)"
+          if (!reg(st, st.ops[0], rs1)) return false;
+          encode_at(st.addr, {op, 1, rs1, 0, 0});
+          return true;
+        }
+        if (!expect_ops(st, 2) || !reg(st, st.ops[0], rd) ||
+            !mem_operand(st, st.ops[1], rs1, v))
+          return false;
+        if (!check_range(st, v, -2048, 2047, "jalr offset")) return false;
+        encode_at(st.addr, {op, rd, rs1, 0, static_cast<i32>(v)});
+        return true;
+      }
+      case RvOp::kBeq:
+      case RvOp::kBne:
+      case RvOp::kBlt:
+      case RvOp::kBge:
+      case RvOp::kBltu:
+      case RvOp::kBgeu: {
+        if (!expect_ops(st, 3) || !reg(st, st.ops[0], rs1) ||
+            !reg(st, st.ops[1], rs2) || !target(st, st.ops[2], v))
+          return false;
+        if (!check_range(st, v, -4096, 4095, "branch offset")) return false;
+        encode_at(st.addr, {op, 0, rs1, rs2, static_cast<i32>(v)});
+        return true;
+      }
+      case RvOp::kLb:
+      case RvOp::kLh:
+      case RvOp::kLw:
+      case RvOp::kLbu:
+      case RvOp::kLhu: {
+        if (!expect_ops(st, 2) || !reg(st, st.ops[0], rd) ||
+            !mem_operand(st, st.ops[1], rs1, v))
+          return false;
+        if (!check_range(st, v, -2048, 2047, "load offset")) return false;
+        encode_at(st.addr, {op, rd, rs1, 0, static_cast<i32>(v)});
+        return true;
+      }
+      case RvOp::kSb:
+      case RvOp::kSh:
+      case RvOp::kSw: {
+        if (!expect_ops(st, 2) || !reg(st, st.ops[0], rs2) ||
+            !mem_operand(st, st.ops[1], rs1, v))
+          return false;
+        if (!check_range(st, v, -2048, 2047, "store offset")) return false;
+        encode_at(st.addr, {op, 0, rs1, rs2, static_cast<i32>(v)});
+        return true;
+      }
+      case RvOp::kAddi:
+      case RvOp::kSlti:
+      case RvOp::kSltiu:
+      case RvOp::kXori:
+      case RvOp::kOri:
+      case RvOp::kAndi: {
+        if (!expect_ops(st, 3) || !reg(st, st.ops[0], rd) ||
+            !reg(st, st.ops[1], rs1) || !imm(st, st.ops[2], v))
+          return false;
+        if (!check_range(st, v, -2048, 2047, "12-bit immediate")) return false;
+        encode_at(st.addr, {op, rd, rs1, 0, static_cast<i32>(v)});
+        return true;
+      }
+      case RvOp::kSlli:
+      case RvOp::kSrli:
+      case RvOp::kSrai: {
+        if (!expect_ops(st, 3) || !reg(st, st.ops[0], rd) ||
+            !reg(st, st.ops[1], rs1) || !imm(st, st.ops[2], v))
+          return false;
+        if (!check_range(st, v, 0, 31, "shift amount")) return false;
+        encode_at(st.addr, {op, rd, rs1, 0, static_cast<i32>(v)});
+        return true;
+      }
+      case RvOp::kAdd:
+      case RvOp::kSub:
+      case RvOp::kSll:
+      case RvOp::kSlt:
+      case RvOp::kSltu:
+      case RvOp::kXor:
+      case RvOp::kSrl:
+      case RvOp::kSra:
+      case RvOp::kOr:
+      case RvOp::kAnd: {
+        if (!expect_ops(st, 3) || !reg(st, st.ops[0], rd) ||
+            !reg(st, st.ops[1], rs1) || !reg(st, st.ops[2], rs2))
+          return false;
+        encode_at(st.addr, {op, rd, rs1, rs2, 0});
+        return true;
+      }
+      case RvOp::kFence:
+      case RvOp::kEcall:
+      case RvOp::kEbreak:
+        if (!expect_ops(st, 0)) return false;
+        encode_at(st.addr, {op, 0, 0, 0, 0});
+        return true;
+      default:
+        return fail(st.line, "unsupported instruction '" + m + "'");
+    }
+  }
+
+  /// Sections start on this boundary, which caps the .align exponent.
+  static constexpr u32 kSectionAlign = 16;
+  static constexpr u32 kEndOfSection = 0xFFFFFFFFu;
+  std::vector<std::pair<std::string, u32>> label_stmt_;
+  std::vector<bool> trailing_label_in_data_;
+};
+
+}  // namespace
+
+AsmResult assemble(const std::string& name, std::string_view source) {
+  Assembler as;
+  return as.run(name, source);
+}
+
+}  // namespace hcsim::rv

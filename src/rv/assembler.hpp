@@ -1,0 +1,47 @@
+// hcsim — two-pass RV32I assembler.
+//
+// Accepts the GNU-as flavored subset real kernels need: labels, the common
+// pseudo-instructions (li, la, mv, j, ret, call, beqz, ...), and data
+// directives (.word, .byte, .half, .zero/.space, .asciz, .align). The output
+// is a flat little-endian memory image based at address 0: the encoded text
+// section first, data placed after it (word-aligned) regardless of where
+// .data appears in the source. Pass 1 sizes every statement and binds
+// labels; pass 2 resolves symbols and encodes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rv/rv_isa.hpp"
+#include "util/types.hpp"
+
+namespace hcsim::rv {
+
+/// An assembled program: flat image, text prefix, symbol table.
+struct RvProgram {
+  std::string name;
+  std::vector<u8> image;  // code (little-endian words) then data, base addr 0
+  u32 text_bytes = 0;     // size of the code prefix; valid pcs are [0, text_bytes)
+  std::map<std::string, u32> symbols;  // label -> byte address
+
+  u32 num_insts() const { return text_bytes / 4; }
+  /// Instruction word at byte address `pc` (must be word-aligned, in text).
+  u32 inst_word(u32 pc) const {
+    return static_cast<u32>(image[pc]) | (static_cast<u32>(image[pc + 1]) << 8) |
+           (static_cast<u32>(image[pc + 2]) << 16) |
+           (static_cast<u32>(image[pc + 3]) << 24);
+  }
+};
+
+/// Assembly outcome: `error` is empty on success, else "line N: message".
+struct AsmResult {
+  RvProgram program;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+AsmResult assemble(const std::string& name, std::string_view source);
+
+}  // namespace hcsim::rv

@@ -1,0 +1,56 @@
+// hcsim — µop cracking: RV32I instructions -> hcsim StaticUops + value-
+// accurate TraceRecords.
+//
+// The pipeline (core/pipeline.cpp) is trace driven: it consumes a static
+// µop program plus a dynamic record stream carrying real values. This layer
+// makes an assembled RISC-V program indistinguishable from a generated one:
+//
+//  * compare-and-branch (beq/bne/blt/...) cracks into kCmp + kBranchCond,
+//    mapping RISC-V's fused compare onto the flags model the BR steering
+//    scheme keys on (the cmp writes flags = rs1 - rs2; the branch reads
+//    them with the matching condition code);
+//  * set-less-than (slt/sltu/slti/sltiu and their pseudo forms) cracks into
+//    kSub (into the T0 µop temporary) + kShr #31 — the sign-bit extraction
+//    idiom — with the *architecturally exact* 0/1 result recorded;
+//  * loads/stores map onto the base+offset AGU form (kLoad/kLoadByte/
+//    kStore/kStoreByte), so byte kernels exercise the LR scheme and
+//    base+small-offset addressing exercises CR carry confinement;
+//  * jal/jalr with a link register crack into kMovImm (static return
+//    address) + kJump.
+//
+// Recorded source/result/flags values always come from the functional
+// executor, so downstream width predictors and steering observe real data
+// widths. Unsigned branches and arithmetic right shifts reuse the closest
+// µop shape (kCmp / kShr); their recorded outcomes remain architecturally
+// exact, which is what every consumer reads.
+#pragma once
+
+#include "rv/exec.hpp"
+#include "trace/trace.hpp"
+
+namespace hcsim::rv {
+
+/// A statically cracked program: the hcsim µop program plus the mapping
+/// from RV instruction index to its µop range.
+struct CrackedProgram {
+  Program program;
+  /// first_uop[i] = index of instruction i's first µop; size num_insts()+1,
+  /// so instruction i owns µops [first_uop[i], first_uop[i+1]).
+  std::vector<u32> first_uop;
+};
+
+CrackedProgram crack_program(const RvProgram& prog);
+
+/// Provenance of a cracked trace run.
+struct RvTraceInfo {
+  u64 instret = 0;     // RV instructions retired
+  bool completed = false;  // program halted cleanly (vs. µop budget cut)
+  std::string error;   // executor trap, if any
+};
+
+/// Assemble-free entry point: functionally execute `prog` and emit the
+/// value-accurate µop trace, bounded by `max_uops` dynamic µops.
+Trace trace_from_program(const RvProgram& prog, u64 max_uops,
+                         RvTraceInfo* info = nullptr, const ExecLimits& limits = {});
+
+}  // namespace hcsim::rv

@@ -1,0 +1,58 @@
+// hcsim — RV32I functional executor.
+//
+// Interprets an assembled program with a concrete 32-entry register file and
+// a small flat byte memory: the image loads at address 0, the stack grows
+// down from the top. Execution is fully deterministic (no RNG, no I/O), so
+// the same program yields a bit-identical step stream every run — the
+// property the cracking layer (crack.hpp) relies on for reproducible traces.
+//
+// Halting: ECALL / EBREAK retire and halt, as does a jump to the
+// return-address sentinel (ra is initialized to kRvHaltAddr, so a top-level
+// `ret` cleanly ends the program). Exceeding the step budget stops execution
+// with completed=false; malformed accesses (out-of-range pc, unaligned or
+// out-of-bounds memory) set `error` and stop immediately.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "rv/assembler.hpp"
+
+namespace hcsim::rv {
+
+/// Jumping here halts the program. Lives far outside any valid image.
+inline constexpr u32 kRvHaltAddr = 0xFFFFFFF0u;
+
+struct ExecLimits {
+  u64 max_steps = 2'000'000;  // retired-instruction budget
+  u32 mem_bytes = 1u << 20;   // flat memory size (stack starts at the top)
+};
+
+/// One retired instruction with its concrete values.
+struct RvStep {
+  u32 pc = 0;
+  RvInst inst;
+  u32 rs1_val = 0;
+  u32 rs2_val = 0;
+  u32 result = 0;    // value written to rd (0 when !wrote_rd)
+  bool wrote_rd = false;
+  u32 mem_addr = 0;  // effective address (loads/stores)
+  bool taken = false;  // branch/jump outcome
+  u32 next_pc = 0;
+};
+
+struct RvExecResult {
+  std::array<u32, 32> regs{};
+  u64 steps = 0;
+  bool completed = false;  // reached ecall/ebreak/halt-sentinel
+  std::string error;       // nonempty on trap (bad pc/address/instruction)
+};
+
+/// Execute `prog` to completion (or until the budget/sink stops it). `sink`
+/// is invoked once per retired instruction; returning false stops execution
+/// (used by the cracker to enforce a µop budget mid-program).
+RvExecResult execute(const RvProgram& prog, const ExecLimits& limits = {},
+                     const std::function<bool(const RvStep&)>& sink = nullptr);
+
+}  // namespace hcsim::rv

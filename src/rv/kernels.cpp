@@ -1,0 +1,58 @@
+#include "rv/kernels.hpp"
+
+#include <algorithm>
+
+#include "rv/assembler.hpp"
+#include "rv/crack.hpp"
+#include "util/log.hpp"
+
+namespace hcsim::rv {
+
+const std::vector<RvKernel>& bundled_kernels() {
+  static const std::vector<RvKernel> kKernels = [] {
+    std::vector<RvKernel> v = {
+#if __has_include("rv_kernels_data.inc")
+#include "rv_kernels_data.inc"
+#endif
+    };
+    std::sort(v.begin(), v.end(),
+              [](const RvKernel& a, const RvKernel& b) { return a.name < b.name; });
+    return v;
+  }();
+  return kKernels;
+}
+
+const RvKernel* find_kernel(const std::string& name) {
+  for (const RvKernel& k : bundled_kernels())
+    if (k.name == name) return &k;
+  return nullptr;
+}
+
+WorkloadProfile rv_workload_profile(const std::string& name) {
+  HCSIM_CHECK(find_kernel(name) != nullptr, "unknown rv kernel: " + name);
+  WorkloadProfile p;
+  p.name = name;
+  p.rv_kernel = name;
+  p.seed = 1;  // RV traces are seedless; 1 keeps the cache key stable
+  return p;
+}
+
+std::vector<WorkloadProfile> rv_workload_profiles() {
+  std::vector<WorkloadProfile> out;
+  for (const RvKernel& k : bundled_kernels()) out.push_back(rv_workload_profile(k.name));
+  return out;
+}
+
+Trace kernel_trace(const std::string& name, u64 max_uops) {
+  const RvKernel* k = find_kernel(name);
+  HCSIM_CHECK(k != nullptr, "unknown rv kernel: " + name);
+  AsmResult as = assemble(k->name, k->source);
+  HCSIM_CHECK(as.ok(), "bundled kernel failed to assemble: " + as.error);
+  RvTraceInfo info;
+  Trace trace = trace_from_program(as.program, max_uops, &info);
+  HCSIM_CHECK(info.error.empty(), "bundled kernel trapped: " + name + ": " + info.error);
+  HCSIM_CHECK(!trace.records.empty(), "kernel produced an empty trace: " + name);
+  return trace;
+}
+
+}  // namespace hcsim::rv

@@ -1,0 +1,282 @@
+#include "rv/rv_isa.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "isa/reg.hpp"
+#include "util/log.hpp"
+
+namespace hcsim::rv {
+namespace {
+
+// Major opcode fields (bits [6:0]).
+constexpr u32 kOpLui = 0x37, kOpAuipc = 0x17, kOpJal = 0x6F, kOpJalr = 0x67;
+constexpr u32 kOpBranch = 0x63, kOpLoad = 0x03, kOpStore = 0x23;
+constexpr u32 kOpImm = 0x13, kOpReg = 0x33, kOpFence = 0x0F, kOpSystem = 0x73;
+
+constexpr u32 bits(u32 v, unsigned hi, unsigned lo) {
+  return (v >> lo) & ((1u << (hi - lo + 1)) - 1u);
+}
+
+constexpr i32 sign_extend(u32 v, unsigned width) {
+  const u32 m = 1u << (width - 1);
+  return static_cast<i32>((v ^ m) - m);
+}
+
+constexpr bool fits_signed(i32 v, unsigned width) {
+  const i32 lo = -(1 << (width - 1));
+  const i32 hi = (1 << (width - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+struct OpDesc {
+  std::string_view name;
+  char type;   // 'R' 'I' 'S' 'B' 'U' 'J' 'F'(fence) 'E'(ecall/ebreak) '?':
+  u32 opcode;
+  u32 funct3;
+  u32 funct7;  // R-type and the srli/srai discriminator
+};
+
+constexpr std::array<OpDesc, kNumRvOps> kOps = {{
+    /* kIllegal */ {"illegal", '?', 0, 0, 0},
+    /* kLui     */ {"lui", 'U', kOpLui, 0, 0},
+    /* kAuipc   */ {"auipc", 'U', kOpAuipc, 0, 0},
+    /* kJal     */ {"jal", 'J', kOpJal, 0, 0},
+    /* kJalr    */ {"jalr", 'I', kOpJalr, 0, 0},
+    /* kBeq     */ {"beq", 'B', kOpBranch, 0, 0},
+    /* kBne     */ {"bne", 'B', kOpBranch, 1, 0},
+    /* kBlt     */ {"blt", 'B', kOpBranch, 4, 0},
+    /* kBge     */ {"bge", 'B', kOpBranch, 5, 0},
+    /* kBltu    */ {"bltu", 'B', kOpBranch, 6, 0},
+    /* kBgeu    */ {"bgeu", 'B', kOpBranch, 7, 0},
+    /* kLb      */ {"lb", 'I', kOpLoad, 0, 0},
+    /* kLh      */ {"lh", 'I', kOpLoad, 1, 0},
+    /* kLw      */ {"lw", 'I', kOpLoad, 2, 0},
+    /* kLbu     */ {"lbu", 'I', kOpLoad, 4, 0},
+    /* kLhu     */ {"lhu", 'I', kOpLoad, 5, 0},
+    /* kSb      */ {"sb", 'S', kOpStore, 0, 0},
+    /* kSh      */ {"sh", 'S', kOpStore, 1, 0},
+    /* kSw      */ {"sw", 'S', kOpStore, 2, 0},
+    /* kAddi    */ {"addi", 'I', kOpImm, 0, 0},
+    /* kSlti    */ {"slti", 'I', kOpImm, 2, 0},
+    /* kSltiu   */ {"sltiu", 'I', kOpImm, 3, 0},
+    /* kXori    */ {"xori", 'I', kOpImm, 4, 0},
+    /* kOri     */ {"ori", 'I', kOpImm, 6, 0},
+    /* kAndi    */ {"andi", 'I', kOpImm, 7, 0},
+    /* kSlli    */ {"slli", 'I', kOpImm, 1, 0x00},
+    /* kSrli    */ {"srli", 'I', kOpImm, 5, 0x00},
+    /* kSrai    */ {"srai", 'I', kOpImm, 5, 0x20},
+    /* kAdd     */ {"add", 'R', kOpReg, 0, 0x00},
+    /* kSub     */ {"sub", 'R', kOpReg, 0, 0x20},
+    /* kSll     */ {"sll", 'R', kOpReg, 1, 0x00},
+    /* kSlt     */ {"slt", 'R', kOpReg, 2, 0x00},
+    /* kSltu    */ {"sltu", 'R', kOpReg, 3, 0x00},
+    /* kXor     */ {"xor", 'R', kOpReg, 4, 0x00},
+    /* kSrl     */ {"srl", 'R', kOpReg, 5, 0x00},
+    /* kSra     */ {"sra", 'R', kOpReg, 5, 0x20},
+    /* kOr      */ {"or", 'R', kOpReg, 6, 0x00},
+    /* kAnd     */ {"and", 'R', kOpReg, 7, 0x00},
+    /* kFence   */ {"fence", 'F', kOpFence, 0, 0},
+    /* kEcall   */ {"ecall", 'E', kOpSystem, 0, 0},
+    /* kEbreak  */ {"ebreak", 'E', kOpSystem, 0, 1},
+}};
+
+const OpDesc& desc(RvOp op) { return kOps[static_cast<unsigned>(op)]; }
+
+}  // namespace
+
+u32 encode(const RvInst& inst) {
+  const OpDesc& d = desc(inst.op);
+  const u32 rd = inst.rd & 31u, rs1 = inst.rs1 & 31u, rs2 = inst.rs2 & 31u;
+  const u32 imm = static_cast<u32>(inst.imm);
+  switch (d.type) {
+    case 'R':
+      return (d.funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (d.funct3 << 12) |
+             (rd << 7) | d.opcode;
+    case 'I': {
+      u32 imm12;
+      if (inst.op == RvOp::kSlli || inst.op == RvOp::kSrli || inst.op == RvOp::kSrai) {
+        HCSIM_CHECK(imm < 32, "shift amount out of range");
+        imm12 = (d.funct7 << 5) | imm;
+      } else {
+        HCSIM_CHECK(fits_signed(inst.imm, 12), "I-type immediate out of range");
+        imm12 = imm & 0xFFFu;
+      }
+      return (imm12 << 20) | (rs1 << 15) | (d.funct3 << 12) | (rd << 7) | d.opcode;
+    }
+    case 'S':
+      HCSIM_CHECK(fits_signed(inst.imm, 12), "S-type immediate out of range");
+      return (bits(imm, 11, 5) << 25) | (rs2 << 20) | (rs1 << 15) |
+             (d.funct3 << 12) | (bits(imm, 4, 0) << 7) | d.opcode;
+    case 'B':
+      HCSIM_CHECK(fits_signed(inst.imm, 13) && (imm & 1u) == 0,
+                  "branch offset out of range");
+      return (bits(imm, 12, 12) << 31) | (bits(imm, 10, 5) << 25) | (rs2 << 20) |
+             (rs1 << 15) | (d.funct3 << 12) | (bits(imm, 4, 1) << 8) |
+             (bits(imm, 11, 11) << 7) | d.opcode;
+    case 'U':
+      // imm carries the already-shifted value; the low 12 bits must be clear.
+      HCSIM_CHECK((imm & 0xFFFu) == 0, "U-type immediate has low bits set");
+      return imm | (rd << 7) | d.opcode;
+    case 'J':
+      HCSIM_CHECK(fits_signed(inst.imm, 21) && (imm & 1u) == 0,
+                  "jump offset out of range");
+      return (bits(imm, 20, 20) << 31) | (bits(imm, 10, 1) << 21) |
+             (bits(imm, 11, 11) << 20) | (bits(imm, 19, 12) << 12) | (rd << 7) |
+             d.opcode;
+    case 'F':
+      return d.opcode;  // fence encodes pred/succ in imm; modeled as nop
+    case 'E':
+      return (d.funct7 << 20) | d.opcode;  // funct7 doubles as the imm12 bit
+    default:
+      HCSIM_CHECK(false, "cannot encode an illegal instruction");
+  }
+  return 0;
+}
+
+RvInst decode(u32 word) {
+  RvInst inst;
+  const u32 opcode = bits(word, 6, 0);
+  const u32 rd = bits(word, 11, 7), funct3 = bits(word, 14, 12);
+  const u32 rs1 = bits(word, 19, 15), rs2 = bits(word, 24, 20);
+  const u32 funct7 = bits(word, 31, 25);
+  inst.rd = static_cast<u8>(rd);
+  inst.rs1 = static_cast<u8>(rs1);
+  inst.rs2 = static_cast<u8>(rs2);
+
+  auto match = [&](char type) -> RvOp {
+    for (unsigned i = 1; i < kNumRvOps; ++i) {
+      const OpDesc& d = kOps[i];
+      if (d.type != type || d.opcode != opcode) continue;
+      if (type == 'R' && (d.funct3 != funct3 || d.funct7 != funct7)) continue;
+      if ((type == 'I' || type == 'S' || type == 'B') && d.funct3 != funct3) continue;
+      // srli/srai share funct3=5 under OP-IMM; discriminate on funct7.
+      if (type == 'I' && opcode == kOpImm && funct3 == 5 && d.funct7 != funct7)
+        continue;
+      if (type == 'I' && opcode == kOpImm && funct3 == 1 && funct7 != 0) continue;
+      return static_cast<RvOp>(i);
+    }
+    return RvOp::kIllegal;
+  };
+
+  switch (opcode) {
+    case kOpLui:
+    case kOpAuipc:
+      inst.op = opcode == kOpLui ? RvOp::kLui : RvOp::kAuipc;
+      inst.imm = static_cast<i32>(word & 0xFFFFF000u);
+      return inst;
+    case kOpJal:
+      inst.op = RvOp::kJal;
+      inst.imm = sign_extend((bits(word, 31, 31) << 20) | (bits(word, 19, 12) << 12) |
+                                 (bits(word, 20, 20) << 11) | (bits(word, 30, 21) << 1),
+                             21);
+      return inst;
+    case kOpJalr:
+      if (funct3 != 0) return inst;
+      inst.op = RvOp::kJalr;
+      inst.imm = sign_extend(bits(word, 31, 20), 12);
+      return inst;
+    case kOpBranch:
+      inst.op = match('B');
+      inst.imm = sign_extend((bits(word, 31, 31) << 12) | (bits(word, 7, 7) << 11) |
+                                 (bits(word, 30, 25) << 5) | (bits(word, 11, 8) << 1),
+                             13);
+      return inst;
+    case kOpLoad:
+      inst.op = match('I');
+      inst.imm = sign_extend(bits(word, 31, 20), 12);
+      return inst;
+    case kOpStore:
+      inst.op = match('S');
+      inst.imm = sign_extend((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12);
+      return inst;
+    case kOpImm:
+      inst.op = match('I');
+      if (funct3 == 1 || funct3 == 5)
+        inst.imm = static_cast<i32>(rs2);  // shamt
+      else
+        inst.imm = sign_extend(bits(word, 31, 20), 12);
+      return inst;
+    case kOpReg:
+      inst.op = match('R');
+      return inst;
+    case kOpFence:
+      inst.op = RvOp::kFence;
+      return inst;
+    case kOpSystem:
+      if (funct3 == 0 && rs1 == 0 && rd == 0) {
+        const u32 imm12 = bits(word, 31, 20);
+        if (imm12 == 0) inst.op = RvOp::kEcall;
+        if (imm12 == 1) inst.op = RvOp::kEbreak;
+      }
+      return inst;
+    default:
+      return inst;  // kIllegal
+  }
+}
+
+std::string_view mnemonic(RvOp op) { return desc(op).name; }
+
+int parse_rv_reg(std::string_view t) {
+  static constexpr std::string_view kAbi[] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  for (unsigned i = 0; i < 32; ++i)
+    if (t == kAbi[i]) return static_cast<int>(i);
+  if (t == "fp") return 8;
+  if (t.size() >= 2 && t.size() <= 3 && t[0] == 'x') {
+    unsigned v = 0;
+    for (char c : t.substr(1)) {
+      if (c < '0' || c > '9') return -1;
+      v = v * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (v < 32 && (t.size() == 2 || t[1] != '0')) return static_cast<int>(v);
+  }
+  return -1;
+}
+
+std::string_view rv_reg_name(unsigned r) {
+  // Single source of truth: the hcsim register namespace names the RV block.
+  return r < 32 ? reg_name(static_cast<RegId>(kRegX0 + r)) : "x?";
+}
+
+std::string rv_disassemble(const RvInst& inst) {
+  const OpDesc& d = desc(inst.op);
+  std::ostringstream os;
+  os << d.name;
+  switch (d.type) {
+    case 'R':
+      os << " " << rv_reg_name(inst.rd) << ", " << rv_reg_name(inst.rs1) << ", "
+         << rv_reg_name(inst.rs2);
+      break;
+    case 'I':
+      if (is_rv_load(inst.op) || inst.op == RvOp::kJalr)
+        os << " " << rv_reg_name(inst.rd) << ", " << inst.imm << "("
+           << rv_reg_name(inst.rs1) << ")";
+      else
+        os << " " << rv_reg_name(inst.rd) << ", " << rv_reg_name(inst.rs1) << ", "
+           << inst.imm;
+      break;
+    case 'S':
+      os << " " << rv_reg_name(inst.rs2) << ", " << inst.imm << "("
+         << rv_reg_name(inst.rs1) << ")";
+      break;
+    case 'B':
+      os << " " << rv_reg_name(inst.rs1) << ", " << rv_reg_name(inst.rs2) << ", "
+         << inst.imm;
+      break;
+    case 'U':
+      os << " " << rv_reg_name(inst.rd) << ", 0x" << std::hex
+         << (static_cast<u32>(inst.imm) >> 12) << std::dec;
+      break;
+    case 'J':
+      os << " " << rv_reg_name(inst.rd) << ", " << inst.imm;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace hcsim::rv

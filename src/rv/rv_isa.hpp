@@ -1,0 +1,79 @@
+// hcsim — RV32I instruction set: opcodes, encoded forms, encoder/decoder.
+//
+// The RISC-V frontend (src/rv) diversifies the workload space beyond the
+// profile-driven generator: real programs are assembled (assembler.hpp),
+// functionally executed (exec.hpp) and cracked into hcsim µop traces
+// (crack.hpp). This header is the shared vocabulary: the full RV32I base
+// integer set, a decoded instruction form, and bit-exact encode/decode.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace hcsim::rv {
+
+/// RV32I base integer instructions. FENCE is modeled as a no-op; ECALL and
+/// EBREAK halt the functional executor.
+enum class RvOp : u8 {
+  kIllegal = 0,
+  // U-type / J-type.
+  kLui, kAuipc, kJal,
+  // I-type jump.
+  kJalr,
+  // B-type conditional branches.
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  // I-type loads.
+  kLb, kLh, kLw, kLbu, kLhu,
+  // S-type stores.
+  kSb, kSh, kSw,
+  // I-type ALU.
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  // R-type ALU.
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  // System / misc.
+  kFence, kEcall, kEbreak,
+  kCount
+};
+
+inline constexpr unsigned kNumRvOps = static_cast<unsigned>(RvOp::kCount);
+
+/// A decoded RV32I instruction. `imm` is the fully sign-extended immediate;
+/// for LUI/AUIPC it already carries the shifted 20-bit value (imm20 << 12),
+/// and for shifts it is the 5-bit shamt.
+struct RvInst {
+  RvOp op = RvOp::kIllegal;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  i32 imm = 0;
+};
+
+/// Bit-exact RV32I encoding of a decoded instruction. Immediates out of the
+/// encodable range abort (the assembler range-checks first).
+u32 encode(const RvInst& inst);
+
+/// Decode a 32-bit instruction word. Unrecognized words decode to
+/// RvOp::kIllegal (the executor traps on them).
+RvInst decode(u32 word);
+
+std::string_view mnemonic(RvOp op);
+
+constexpr bool is_rv_branch(RvOp op) {
+  return op >= RvOp::kBeq && op <= RvOp::kBgeu;
+}
+constexpr bool is_rv_load(RvOp op) { return op >= RvOp::kLb && op <= RvOp::kLhu; }
+constexpr bool is_rv_store(RvOp op) { return op >= RvOp::kSb && op <= RvOp::kSw; }
+
+/// Parse a register operand: "x0".."x31" or an ABI name (zero, ra, sp, gp,
+/// tp, t0-t6, s0-s11, fp, a0-a7). Returns -1 when unknown.
+int parse_rv_reg(std::string_view token);
+
+/// Canonical "x<N>" register name.
+std::string_view rv_reg_name(unsigned r);
+
+/// Human-readable rendering, e.g. "addi x5, x6, -1".
+std::string rv_disassemble(const RvInst& inst);
+
+}  // namespace hcsim::rv

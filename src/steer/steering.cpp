@@ -1,6 +1,7 @@
 #include "steer/steering.hpp"
 
 #include <sstream>
+#include <string_view>
 
 namespace hcsim {
 
@@ -65,6 +66,34 @@ SteeringConfig steering_ir_nodest() {
 SteeringConfig steering_ir_block() {
   SteeringConfig c = steering_ir();
   c.ir_block = true;
+  return c;
+}
+
+std::optional<SteeringConfig> steering_from_name(const std::string& name) {
+  if (name == "baseline") return steering_baseline();
+  std::string_view rest = name;
+  if (rest.substr(0, 5) != "8_8_8") return std::nullopt;
+  rest.remove_prefix(5);
+  SteeringConfig c;  // plain 8_8_8
+  auto take = [&](std::string_view feature) {
+    if (rest.substr(0, feature.size()) != feature) return false;
+    rest.remove_prefix(feature.size());
+    return true;
+  };
+  if (take("+BR")) c.br = true;
+  if (take("+LR")) c.lr = true;
+  if (take("+CR")) c.cr = true;
+  if (take("+CP")) c.cp = true;
+  if (take("+IR(nodest)")) {
+    c.ir = c.balance_throttle = c.ir_nodest_only = true;
+  } else if (take("+IR(block)")) {
+    c.ir = c.balance_throttle = c.ir_block = true;
+  } else if (take("+IR")) {
+    c.ir = c.balance_throttle = true;
+  }
+  if (!rest.empty()) return std::nullopt;
+  // Round-trip guarantee: the parsed config renders back to the input.
+  if (c.describe() != name) return std::nullopt;
   return c;
 }
 

@@ -8,6 +8,7 @@
 // them.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "isa/uop.hpp"
@@ -65,6 +66,12 @@ SteeringConfig steering_cp();             // Section 3.6 (888+BR+LR+CR+CP)
 SteeringConfig steering_ir();             // Section 3.7 full splitting
 SteeringConfig steering_ir_nodest();      // Section 3.7 fine-tuned variant
 SteeringConfig steering_ir_block();       // Section 3.7 proposed extension
+
+/// Parse a scheme name in describe() syntax ("baseline", "8_8_8",
+/// "8_8_8+BR+LR", ..., "+IR(nodest)"/"+IR(block)"). Feature suffixes must
+/// appear in describe() order. std::nullopt on malformed names — the CLIs
+/// turn that into a usage error.
+std::optional<SteeringConfig> steering_from_name(const std::string& name);
 
 /// Everything the rename stage knows about a µop when steering it.
 struct SteerContext {

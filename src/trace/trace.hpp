@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "isa/uop.hpp"
+#include "util/log.hpp"
 #include "util/types.hpp"
 
 namespace hcsim {
@@ -31,7 +32,10 @@ struct Program {
   std::vector<StaticUop> uops;
   std::vector<u32> branch_targets;  // parallel to uops; 0 unless branch
 
-  u32 target_of(u32 pc) const { return branch_targets[pc]; }
+  u32 target_of(u32 pc) const {
+    HCSIM_CHECK(pc < branch_targets.size(), "target_of: pc out of range");
+    return branch_targets[pc];
+  }
 };
 
 /// A full trace: program + dynamic stream + provenance.
@@ -40,7 +44,10 @@ struct Trace {
   std::vector<TraceRecord> records;
   u64 seed = 0;
 
-  const StaticUop& uop_of(const TraceRecord& r) const { return program.uops[r.pc]; }
+  const StaticUop& uop_of(const TraceRecord& r) const {
+    HCSIM_CHECK(r.pc < program.uops.size(), "uop_of: record pc out of range");
+    return program.uops[r.pc];
+  }
   std::size_t size() const { return records.size(); }
 };
 

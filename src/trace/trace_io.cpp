@@ -8,7 +8,10 @@ namespace hcsim {
 namespace {
 
 constexpr u32 kMagic = 0x48435452;  // "HCTR"
-constexpr u32 kVersion = 2;
+// v3: records and µops are serialized field by field (tightly packed).
+// v2 wrote whole structs, which leaked uninitialized padding bytes into the
+// file — same trace, different bytes across runs.
+constexpr u32 kVersion = 3;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -39,6 +42,50 @@ bool read_string(std::FILE* f, std::string& s) {
   return n == 0 || std::fread(s.data(), 1, n, f) == n;
 }
 
+bool write_uop(std::FILE* f, const StaticUop& u) {
+  return write_pod(f, u.pc) && write_pod(f, static_cast<u8>(u.opcode)) &&
+         write_pod(f, u.dst) && write_pod(f, u.srcs[0]) && write_pod(f, u.srcs[1]) &&
+         write_pod(f, u.srcs[2]) && write_pod(f, static_cast<u8>(u.has_imm)) &&
+         write_pod(f, u.imm);
+}
+
+bool valid_reg(RegId r) { return r == kRegNone || r < kNumRegs; }
+
+bool read_uop(std::FILE* f, StaticUop& u) {
+  u8 opcode = 0, has_imm = 0;
+  if (!(read_pod(f, u.pc) && read_pod(f, opcode) && read_pod(f, u.dst) &&
+        read_pod(f, u.srcs[0]) && read_pod(f, u.srcs[1]) && read_pod(f, u.srcs[2]) &&
+        read_pod(f, has_imm) && read_pod(f, u.imm)))
+    return false;
+  if (opcode >= kNumOpcodes) return false;
+  // Register ids index fixed arrays downstream (pipeline register state);
+  // reject corrupt files here rather than corrupting memory there.
+  if (!valid_reg(u.dst) || !valid_reg(u.srcs[0]) || !valid_reg(u.srcs[1]) ||
+      !valid_reg(u.srcs[2]))
+    return false;
+  u.opcode = static_cast<Opcode>(opcode);
+  u.has_imm = has_imm != 0;
+  return true;
+}
+
+bool write_record(std::FILE* f, const TraceRecord& r) {
+  return write_pod(f, r.pc) && write_pod(f, r.src_vals[0]) &&
+         write_pod(f, r.src_vals[1]) && write_pod(f, r.src_vals[2]) &&
+         write_pod(f, r.result) && write_pod(f, r.flags_val) &&
+         write_pod(f, r.mem_addr) && write_pod(f, static_cast<u8>(r.taken));
+}
+
+bool read_record(std::FILE* f, TraceRecord& r) {
+  u8 taken = 0;
+  if (!(read_pod(f, r.pc) && read_pod(f, r.src_vals[0]) &&
+        read_pod(f, r.src_vals[1]) && read_pod(f, r.src_vals[2]) &&
+        read_pod(f, r.result) && read_pod(f, r.flags_val) &&
+        read_pod(f, r.mem_addr) && read_pod(f, taken)))
+    return false;
+  r.taken = taken != 0;
+  return true;
+}
+
 }  // namespace
 
 bool save_trace(const Trace& trace, const std::string& path) {
@@ -51,14 +98,14 @@ bool save_trace(const Trace& trace, const std::string& path) {
   const u32 n_static = static_cast<u32>(trace.program.uops.size());
   if (!write_pod(f.get(), n_static)) return false;
   for (u32 i = 0; i < n_static; ++i) {
-    if (!write_pod(f.get(), trace.program.uops[i])) return false;
+    if (!write_uop(f.get(), trace.program.uops[i])) return false;
     if (!write_pod(f.get(), trace.program.branch_targets[i])) return false;
   }
 
   const u64 n_dyn = trace.records.size();
   if (!write_pod(f.get(), n_dyn)) return false;
   for (const TraceRecord& r : trace.records)
-    if (!write_pod(f.get(), r)) return false;
+    if (!write_record(f.get(), r)) return false;
   return true;
 }
 
@@ -76,7 +123,7 @@ bool load_trace(Trace& trace, const std::string& path) {
   trace.program.uops.resize(n_static);
   trace.program.branch_targets.resize(n_static);
   for (u32 i = 0; i < n_static; ++i) {
-    if (!read_pod(f.get(), trace.program.uops[i])) return false;
+    if (!read_uop(f.get(), trace.program.uops[i])) return false;
     if (!read_pod(f.get(), trace.program.branch_targets[i])) return false;
   }
 
@@ -84,7 +131,7 @@ bool load_trace(Trace& trace, const std::string& path) {
   if (!read_pod(f.get(), n_dyn) || n_dyn > (1ull << 33)) return false;
   trace.records.resize(n_dyn);
   for (TraceRecord& r : trace.records)
-    if (!read_pod(f.get(), r)) return false;
+    if (!read_record(f.get(), r)) return false;
 
   // Validate pcs so downstream code can index without bounds checks.
   for (const TraceRecord& r : trace.records)

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "rv/kernels.hpp"
 #include "util/log.hpp"
 #include "util/narrow.hpp"
 #include "wload/program_gen.hpp"
@@ -179,6 +180,9 @@ Trace execute_program(const Program& program, const WorkloadProfile& profile,
 }
 
 Trace generate_trace(const WorkloadProfile& profile, u64 n_records) {
+  // RISC-V kernel workloads route through the src/rv frontend: n_records is
+  // the µop budget (kernels run to completion, generated programs loop).
+  if (!profile.rv_kernel.empty()) return rv::kernel_trace(profile.rv_kernel, n_records);
   const Program program = generate_program(profile);
   return execute_program(program, profile, n_records);
 }

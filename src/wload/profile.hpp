@@ -22,6 +22,13 @@ struct WorkloadProfile {
   std::string name;
   u64 seed = 1;
 
+  /// Non-empty = this workload is a bundled RISC-V kernel (src/rv): trace
+  /// generation assembles, executes and cracks the named kernel instead of
+  /// running the synthetic program generator, and every other knob below is
+  /// ignored. RV traces are deterministic functions of the kernel source
+  /// alone, so `seed` only participates in cache keying.
+  std::string rv_kernel;
+
   // --- static code shape -------------------------------------------------
   unsigned num_loops = 12;       // top-level loop nests in the program
   unsigned body_chains_min = 2;  // compute chains per loop body

@@ -55,7 +55,8 @@ TEST_P(NarrowWidthProperty, MonotoneInWidth) {
   const unsigned w = GetParam();
   Rng rng(7 * w + 1);
   for (int i = 0; i < 2000; ++i) {
-    const u32 v = rng.next_u32() >> (i % 33);
+    const unsigned sh = static_cast<unsigned>(i) % 33;  // 33 cases: 32 means "all bits gone"
+    const u32 v = sh == 32 ? 0u : rng.next_u32() >> sh;
     if (is_narrow(v, w)) {
       EXPECT_TRUE(is_narrow(v, w + 1)) << v << " w=" << w;
     }
@@ -66,7 +67,8 @@ TEST_P(NarrowWidthProperty, SignificantBitsConsistent) {
   const unsigned w = GetParam();
   Rng rng(13 * w + 5);
   for (int i = 0; i < 2000; ++i) {
-    const u32 v = rng.next_u32() >> (i % 33);
+    const unsigned sh = static_cast<unsigned>(i) % 33;  // 33 cases: 32 means "all bits gone"
+    const u32 v = sh == 32 ? 0u : rng.next_u32() >> sh;
     // is_narrow(v, w) holds iff significant_bits(v) <= w... except that the
     // detector-style definition treats [-2^w, 2^w) as w-bit, matching the
     // leading-zero/one hardware, so compare against that definition.

@@ -1,0 +1,264 @@
+// Tests for the RV32I assembler (src/rv/assembler.*): golden encodings,
+// encode/decode round trips, pseudo-instruction expansion, label and data
+// layout, and loud failures on malformed input.
+#include <gtest/gtest.h>
+
+#include "rv/assembler.hpp"
+#include "rv/rv_isa.hpp"
+
+namespace hcsim::rv {
+namespace {
+
+/// Assemble a snippet that must succeed; returns the program.
+RvProgram ok(const std::string& src) {
+  AsmResult r = assemble("t", src);
+  EXPECT_TRUE(r.ok()) << r.error;
+  return std::move(r.program);
+}
+
+/// Assemble a snippet that must fail; returns the error text.
+std::string err(const std::string& src) {
+  AsmResult r = assemble("t", src);
+  EXPECT_FALSE(r.ok()) << "expected failure for: " << src;
+  return r.error;
+}
+
+// --- golden encodings (cross-checked against the RV32I spec tables) ---------
+
+TEST(RvAsm, GoldenEncodings) {
+  const RvProgram p = ok(
+      "nop\n"
+      "add x1, x2, x3\n"
+      "addi x1, x2, -5\n"
+      "lui x5, 0x12345\n"
+      "lw x6, 8(x7)\n"
+      "sw x6, 12(x7)\n"
+      "srai x1, x2, 3\n"
+      "ret\n"
+      "ecall\n"
+      "ebreak\n");
+  EXPECT_EQ(p.inst_word(0), 0x00000013u);   // nop == addi x0,x0,0
+  EXPECT_EQ(p.inst_word(4), 0x003100B3u);   // add
+  EXPECT_EQ(p.inst_word(8), 0xFFB10093u);   // addi negative imm
+  EXPECT_EQ(p.inst_word(12), 0x123452B7u);  // lui
+  EXPECT_EQ(p.inst_word(16), 0x0083A303u);  // lw
+  EXPECT_EQ(p.inst_word(20), 0x0063A623u);  // sw
+  EXPECT_EQ(p.inst_word(24), 0x40315093u);  // srai
+  EXPECT_EQ(p.inst_word(28), 0x00008067u);  // ret == jalr x0,0(ra)
+  EXPECT_EQ(p.inst_word(32), 0x00000073u);  // ecall
+  EXPECT_EQ(p.inst_word(36), 0x00100073u);  // ebreak
+}
+
+TEST(RvAsm, GoldenBranchAndJumpEncodings) {
+  const RvProgram p = ok(
+      "start:\n"
+      "  beq x1, x2, next\n"   // +8
+      "  nop\n"
+      "next:\n"
+      "  jal x1, tgt\n"        // +16
+      "  nop\n"
+      "  nop\n"
+      "  nop\n"
+      "tgt:\n"
+      "  bltu x10, x11, tgt\n");  // self-target: offset 0
+  EXPECT_EQ(p.inst_word(0), 0x00208463u);   // beq +8
+  EXPECT_EQ(p.inst_word(8), 0x010000EFu);   // jal x1, +16
+  EXPECT_EQ(p.inst_word(24), 0x00B56063u);  // bltu 0
+}
+
+TEST(RvAsm, EncodeDecodeRoundTripAllOps) {
+  // Every encodable instruction shape survives encode(decode(encode(x))).
+  const RvInst cases[] = {
+      {RvOp::kLui, 7, 0, 0, static_cast<i32>(0xFFFFF000)},
+      {RvOp::kAuipc, 1, 0, 0, 0x7F000},
+      {RvOp::kJal, 1, 0, 0, -1048576},
+      {RvOp::kJalr, 1, 2, 0, -2048},
+      {RvOp::kBeq, 0, 3, 4, 4094},  {RvOp::kBne, 0, 5, 6, -4096},
+      {RvOp::kBlt, 0, 7, 8, 16},    {RvOp::kBge, 0, 9, 10, -16},
+      {RvOp::kBltu, 0, 11, 12, 8},  {RvOp::kBgeu, 0, 13, 14, -8},
+      {RvOp::kLb, 15, 16, 0, 2047}, {RvOp::kLh, 17, 18, 0, -1},
+      {RvOp::kLw, 19, 20, 0, 0},    {RvOp::kLbu, 21, 22, 0, 5},
+      {RvOp::kLhu, 23, 24, 0, 6},   {RvOp::kSb, 0, 25, 26, -2048},
+      {RvOp::kSh, 0, 27, 28, 2047}, {RvOp::kSw, 0, 29, 30, 4},
+      {RvOp::kAddi, 31, 1, 0, 1},   {RvOp::kSlti, 2, 3, 0, -7},
+      {RvOp::kSltiu, 4, 5, 0, 7},   {RvOp::kXori, 6, 7, 0, -1},
+      {RvOp::kOri, 8, 9, 0, 255},   {RvOp::kAndi, 10, 11, 0, 15},
+      {RvOp::kSlli, 12, 13, 0, 31}, {RvOp::kSrli, 14, 15, 0, 1},
+      {RvOp::kSrai, 16, 17, 0, 30}, {RvOp::kAdd, 18, 19, 20, 0},
+      {RvOp::kSub, 21, 22, 23, 0},  {RvOp::kSll, 24, 25, 26, 0},
+      {RvOp::kSlt, 27, 28, 29, 0},  {RvOp::kSltu, 30, 31, 1, 0},
+      {RvOp::kXor, 2, 3, 4, 0},     {RvOp::kSrl, 5, 6, 7, 0},
+      {RvOp::kSra, 8, 9, 10, 0},    {RvOp::kOr, 11, 12, 13, 0},
+      {RvOp::kAnd, 14, 15, 16, 0},  {RvOp::kEcall, 0, 0, 0, 0},
+      {RvOp::kEbreak, 0, 0, 0, 0},
+  };
+  for (const RvInst& in : cases) {
+    const u32 word = encode(in);
+    const RvInst back = decode(word);
+    EXPECT_EQ(back.op, in.op) << mnemonic(in.op);
+    EXPECT_EQ(encode(back), word) << mnemonic(in.op);
+    if (in.op != RvOp::kEcall && in.op != RvOp::kEbreak) {
+      EXPECT_EQ(back.imm, in.imm) << mnemonic(in.op);
+    }
+  }
+  EXPECT_EQ(decode(0xFFFFFFFFu).op, RvOp::kIllegal);
+  EXPECT_EQ(decode(0).op, RvOp::kIllegal);
+}
+
+// --- pseudo-instructions -----------------------------------------------------
+
+TEST(RvAsm, PseudoExpansion) {
+  const RvProgram p = ok(
+      "li a0, 42\n"          // 1 inst (addi)
+      "li a1, 0x12345678\n"  // 2 insts (lui+addi)
+      "li a2, -1\n"          // 1 inst
+      "mv a3, a0\n"
+      "not a4, a0\n"
+      "neg a5, a0\n"
+      "seqz a6, a0\n"
+      "snez a7, a0\n"
+      "ret\n");
+  EXPECT_EQ(p.num_insts(), 10u);
+  EXPECT_EQ(decode(p.inst_word(0)).op, RvOp::kAddi);
+  EXPECT_EQ(decode(p.inst_word(0)).imm, 42);
+  EXPECT_EQ(decode(p.inst_word(4)).op, RvOp::kLui);
+  EXPECT_EQ(decode(p.inst_word(8)).op, RvOp::kAddi);
+  // lui+addi reconstruct the constant (addi sign-extends, lui compensates).
+  const u32 hi = static_cast<u32>(decode(p.inst_word(4)).imm);
+  const u32 lo = static_cast<u32>(decode(p.inst_word(8)).imm);
+  EXPECT_EQ(hi + lo, 0x12345678u);
+  EXPECT_EQ(decode(p.inst_word(12)).imm, -1);
+  EXPECT_EQ(decode(p.inst_word(16)).op, RvOp::kAddi);   // mv
+  EXPECT_EQ(decode(p.inst_word(20)).op, RvOp::kXori);   // not
+  EXPECT_EQ(decode(p.inst_word(20)).imm, -1);
+  EXPECT_EQ(decode(p.inst_word(24)).op, RvOp::kSub);    // neg
+  EXPECT_EQ(decode(p.inst_word(28)).op, RvOp::kSltiu);  // seqz
+  EXPECT_EQ(decode(p.inst_word(32)).op, RvOp::kSltu);   // snez
+}
+
+TEST(RvAsm, AbiRegisterNames) {
+  const RvProgram p = ok("add sp, ra, a0\nadd s0, t6, zero\nadd fp, s11, t0\nret\n");
+  RvInst i0 = decode(p.inst_word(0));
+  EXPECT_EQ(i0.rd, 2u);   // sp
+  EXPECT_EQ(i0.rs1, 1u);  // ra
+  EXPECT_EQ(i0.rs2, 10u); // a0
+  RvInst i1 = decode(p.inst_word(4));
+  EXPECT_EQ(i1.rd, 8u);   // s0
+  EXPECT_EQ(i1.rs1, 31u); // t6
+  EXPECT_EQ(i1.rs2, 0u);  // zero
+  RvInst i2 = decode(p.inst_word(8));
+  EXPECT_EQ(i2.rd, 8u);   // fp == s0
+  EXPECT_EQ(i2.rs1, 27u); // s11
+  EXPECT_EQ(i2.rs2, 5u);  // t0
+}
+
+// --- labels, sections, data --------------------------------------------------
+
+TEST(RvAsm, LabelsAndDataLayout) {
+  const RvProgram p = ok(
+      ".text\n"
+      "main:\n"
+      "  la a0, buf\n"       // 2 insts
+      "  lw a1, 0(a0)\n"
+      "  j main\n"
+      ".data\n"
+      "buf:\n"
+      "  .word 0xDEADBEEF, 17\n"
+      "tail:\n"
+      "  .byte 1, 2\n"
+      "  .asciz \"hi\"\n");
+  EXPECT_EQ(p.text_bytes, 16u);
+  ASSERT_TRUE(p.symbols.count("main"));
+  ASSERT_TRUE(p.symbols.count("buf"));
+  ASSERT_TRUE(p.symbols.count("tail"));
+  EXPECT_EQ(p.symbols.at("main"), 0u);
+  EXPECT_EQ(p.symbols.at("buf"), 16u);  // data starts word-aligned after text
+  EXPECT_EQ(p.symbols.at("tail"), 24u);
+  // .word is little-endian.
+  EXPECT_EQ(p.image[16], 0xEFu);
+  EXPECT_EQ(p.image[19], 0xDEu);
+  EXPECT_EQ(p.image[20], 17u);
+  EXPECT_EQ(p.image[24], 1u);
+  EXPECT_EQ(p.image[25], 2u);
+  EXPECT_EQ(p.image[26], 'h');
+  EXPECT_EQ(p.image[28], 0u);  // NUL terminator
+  // la expands to lui+addi producing the symbol address.
+  const RvInst lui = decode(p.inst_word(0));
+  const RvInst addi = decode(p.inst_word(4));
+  EXPECT_EQ(lui.op, RvOp::kLui);
+  EXPECT_EQ(addi.op, RvOp::kAddi);
+  EXPECT_EQ(static_cast<u32>(lui.imm) + static_cast<u32>(addi.imm), 16u);
+  // Backward jump targets the label.
+  const RvInst j = decode(p.inst_word(12));
+  EXPECT_EQ(j.op, RvOp::kJal);
+  EXPECT_EQ(j.rd, 0u);
+  EXPECT_EQ(j.imm, -12);
+}
+
+TEST(RvAsm, ForwardBranchesResolve) {
+  const RvProgram p = ok(
+      "  beqz a0, done\n"
+      "  addi a0, a0, -1\n"
+      "done:\n"
+      "  ret\n");
+  const RvInst b = decode(p.inst_word(0));
+  EXPECT_EQ(b.op, RvOp::kBeq);
+  EXPECT_EQ(b.imm, 8);
+}
+
+TEST(RvAsm, CommentsAndBlankLines) {
+  const RvProgram p = ok(
+      "# full-line comment\n"
+      "\n"
+      "  nop  # trailing comment\n"
+      "  nop  // c++ style\n"
+      "  ret  ; asm style\n");
+  EXPECT_EQ(p.num_insts(), 3u);
+}
+
+TEST(RvAsm, CommentMarkersInsideStringLiteralsArePreserved) {
+  const RvProgram p = ok(
+      "ret\n"
+      ".data\n"
+      "s: .asciz \"a#b;c//d\"  # real comment\n");
+  const u32 base = p.symbols.at("s");
+  EXPECT_EQ(p.image[base + 1], '#');
+  EXPECT_EQ(p.image[base + 3], ';');
+  EXPECT_EQ(p.image[base + 5], '/');
+  EXPECT_EQ(p.image[base + 8], 0u);  // "a#b;c//d" + NUL
+}
+
+// --- failure modes -----------------------------------------------------------
+
+TEST(RvAsm, RejectsMalformedInput) {
+  EXPECT_NE(err("bogus a0, a1\n").find("unknown mnemonic"), std::string::npos);
+  EXPECT_NE(err("add a0, a1\n").find("expects 3"), std::string::npos);
+  EXPECT_NE(err("addi a0, a1, 5000\n").find("out of range"), std::string::npos);
+  EXPECT_NE(err("addi a0, q7, 1\n").find("bad register"), std::string::npos);
+  EXPECT_NE(err("j nowhere\n").find("unknown symbol"), std::string::npos);
+  EXPECT_NE(err("x: nop\nx: ret\n").find("duplicate label"), std::string::npos);
+  EXPECT_NE(err(".data\n.word 1\n").find("no instructions"), std::string::npos);
+  EXPECT_NE(err(".data\naddi a0, a0, 1\n").find("instruction in .data"),
+            std::string::npos);
+  EXPECT_NE(err("slli a0, a0, 32\n").find("out of range"), std::string::npos);
+  // Control flow into .data (or past the end of text) is caught with a
+  // line number instead of aborting later in the cracker.
+  EXPECT_NE(err("j buf\n.data\nbuf: .word 1\n").find("not in .text"),
+            std::string::npos);
+  EXPECT_NE(err("beqz a0, end\nret\nend:\n").find("not in .text"),
+            std::string::npos);
+  // Line numbers point at the offending statement.
+  EXPECT_EQ(err("nop\nnop\nbogus\n").substr(0, 7), "line 3:");
+}
+
+TEST(RvAsm, BranchRangeChecked) {
+  // A branch further than +-4 KiB must be rejected, not silently wrapped.
+  std::string src = "top:\n";
+  for (int i = 0; i < 1100; ++i) src += "  nop\n";
+  src += "  j top\n";      // jal reaches +-1 MiB: fine
+  src += "  beqz a0, top\n";  // conditional: out of the +-4 KiB window
+  EXPECT_NE(err(src).find("out of range"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcsim::rv

@@ -1,0 +1,322 @@
+// Tests for the µop cracking layer (src/rv/crack.*) and the RV workload
+// integration: static crack shapes, value-accurate records, flags/branch
+// semantics, bundled kernels, trace determinism (including across sweep
+// thread counts), and the paper's qualitative scheme ordering on the suite.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "rv/assembler.hpp"
+#include "rv/crack.hpp"
+#include "rv/kernels.hpp"
+#include "sim/simulator.hpp"
+
+namespace hcsim::rv {
+namespace {
+
+RvProgram asm_ok(const std::string& src) {
+  AsmResult r = assemble("t", src);
+  EXPECT_TRUE(r.ok()) << r.error;
+  return std::move(r.program);
+}
+
+CrackedProgram crack_of(const std::string& src) { return crack_program(asm_ok(src)); }
+
+Trace trace_of(const std::string& src, u64 budget = 1u << 20) {
+  RvTraceInfo info;
+  const Trace t = trace_from_program(asm_ok(src), budget, &info);
+  EXPECT_TRUE(info.error.empty()) << info.error;
+  return t;
+}
+
+// --- static crack shapes -----------------------------------------------------
+
+TEST(RvCrack, CompareAndBranchCracksToCmpPlusJcc) {
+  const CrackedProgram c = crack_of(
+      "loop:\n"
+      "  addi a0, a0, 1\n"
+      "  blt a0, a1, loop\n"
+      "  ret\n");
+  // blt -> kCmp + kBranchCond.
+  const u32 first = c.first_uop[1];
+  ASSERT_EQ(c.first_uop[2] - first, 2u);
+  const StaticUop& cmp = c.program.uops[first];
+  const StaticUop& br = c.program.uops[first + 1];
+  EXPECT_EQ(cmp.opcode, Opcode::kCmp);
+  EXPECT_EQ(cmp.srcs[0], static_cast<RegId>(kRegX0 + 10));
+  EXPECT_EQ(cmp.srcs[1], static_cast<RegId>(kRegX0 + 11));
+  EXPECT_TRUE(cmp.writes_flags());
+  EXPECT_EQ(br.opcode, Opcode::kBranchCond);
+  EXPECT_EQ(br.srcs[0], kRegFlags);
+  EXPECT_EQ(br.imm, kCondLt);
+  // The branch targets the first µop of the loop head.
+  EXPECT_EQ(c.program.target_of(first + 1), c.first_uop[0]);
+}
+
+TEST(RvCrack, SltCracksToSubPlusShift) {
+  const CrackedProgram c = crack_of("slt a0, a1, a2\nret\n");
+  ASSERT_EQ(c.first_uop[1] - c.first_uop[0], 2u);
+  const StaticUop& sub = c.program.uops[0];
+  const StaticUop& shr = c.program.uops[1];
+  EXPECT_EQ(sub.opcode, Opcode::kSub);
+  EXPECT_EQ(sub.dst, kRegT0);  // µop temporary, not an architectural RV reg
+  EXPECT_EQ(shr.opcode, Opcode::kShr);
+  EXPECT_EQ(shr.srcs[0], kRegT0);
+  EXPECT_EQ(shr.imm, 31u);
+}
+
+TEST(RvCrack, CallCracksToLinkPlusJump) {
+  const CrackedProgram c = crack_of(
+      "main:\n"
+      "  call f\n"
+      "  ret\n"
+      "f:\n"
+      "  ret\n");
+  // call == jal ra,f -> kMovImm ra, retaddr ; kJump.
+  ASSERT_EQ(c.first_uop[1] - c.first_uop[0], 2u);
+  const StaticUop& link = c.program.uops[0];
+  const StaticUop& jmp = c.program.uops[1];
+  EXPECT_EQ(link.opcode, Opcode::kMovImm);
+  EXPECT_EQ(link.dst, static_cast<RegId>(kRegX0 + 1));
+  EXPECT_EQ(link.imm, 4u);  // return address = pc + 4
+  EXPECT_EQ(jmp.opcode, Opcode::kJump);
+  EXPECT_EQ(c.program.target_of(1), c.first_uop[2]);
+  // ret == jalr x0,0(ra) -> a single register-indirect kJump reading ra.
+  ASSERT_EQ(c.first_uop[2] - c.first_uop[1], 1u);
+  const StaticUop& ret = c.program.uops[c.first_uop[1]];
+  EXPECT_EQ(ret.opcode, Opcode::kJump);
+  EXPECT_EQ(ret.srcs[0], static_cast<RegId>(kRegX0 + 1));
+}
+
+TEST(RvCrack, LoadsAndStoresMapToAguForms) {
+  const CrackedProgram c = crack_of(
+      "lbu a0, 3(a1)\n"
+      "sb a0, 7(a2)\n"
+      "lw a3, 8(a4)\n"
+      "sw a3, 12(a5)\n"
+      "ret\n");
+  EXPECT_EQ(c.program.uops[0].opcode, Opcode::kLoadByte);
+  EXPECT_EQ(c.program.uops[0].imm, 3u);
+  EXPECT_EQ(c.program.uops[1].opcode, Opcode::kStoreByte);
+  EXPECT_EQ(c.program.uops[1].srcs[2], static_cast<RegId>(kRegX0 + 10));  // data
+  EXPECT_EQ(c.program.uops[2].opcode, Opcode::kLoad);
+  EXPECT_EQ(c.program.uops[3].opcode, Opcode::kStore);
+}
+
+TEST(RvCrack, WritesToX0BecomeNops) {
+  const CrackedProgram c = crack_of("add x0, a0, a1\nlui x0, 1\nret\n");
+  EXPECT_EQ(c.program.uops[0].opcode, Opcode::kNop);
+  EXPECT_EQ(c.program.uops[1].opcode, Opcode::kNop);
+}
+
+// --- dynamic records: value accuracy ----------------------------------------
+
+TEST(RvCrack, RecordsCarryArchitecturalValues) {
+  const Trace t = trace_of(
+      "li a0, 200\n"
+      "li a1, 100\n"
+      "add a2, a0, a1\n"
+      "blt a0, a1, skip\n"
+      "add a3, a2, a2\n"
+      "skip:\n"
+      "  ret\n");
+  // record 2: add a2 = 300 (flags follow the ALU result).
+  const TraceRecord& add = t.records[2];
+  EXPECT_EQ(t.uop_of(add).opcode, Opcode::kAdd);
+  EXPECT_EQ(add.src_vals[0], 200u);
+  EXPECT_EQ(add.src_vals[1], 100u);
+  EXPECT_EQ(add.result, 300u);
+  EXPECT_EQ(add.flags_val, 300u);
+  // records 3-4: cmp writes flags = a0-a1; the not-taken branch reads them.
+  const TraceRecord& cmp = t.records[3];
+  const TraceRecord& br = t.records[4];
+  EXPECT_EQ(t.uop_of(cmp).opcode, Opcode::kCmp);
+  EXPECT_EQ(cmp.flags_val, 100u);  // 200 - 100
+  EXPECT_EQ(br.src_vals[0], cmp.flags_val);
+  EXPECT_FALSE(br.taken);
+  // The recorded branch outcome agrees with the flags model for signed
+  // compares: eval_cond(cond, flags) == taken.
+  EXPECT_EQ(eval_cond(t.uop_of(br).imm, br.src_vals[0]), br.taken);
+  // record 5: the fallthrough add executed.
+  EXPECT_EQ(t.records[5].result, 600u);
+}
+
+TEST(RvCrack, SltRecordsExactResultEvenNearOverflow) {
+  // INT_MIN < 1 signed: the sub+shr idiom would misreport under overflow,
+  // but the recorded value must be the architectural result.
+  const Trace t = trace_of(
+      "li a0, 0x80000000\n"
+      "li a1, 1\n"
+      "slt a2, a0, a1\n"
+      "ret\n");
+  // li a0 cracks to lui+addi (2 µops), li a1 to addi (1), slt to sub+shr (2).
+  const TraceRecord& shr = t.records[4];
+  EXPECT_EQ(t.uop_of(shr).opcode, Opcode::kShr);
+  EXPECT_EQ(shr.result, 1u);  // INT_MIN < 1 is true
+}
+
+TEST(RvCrack, MemoryRecordsCarryAddressesAndData) {
+  const Trace t = trace_of(
+      "la a0, buf\n"
+      "li a1, 0xAB\n"
+      "sb a1, 2(a0)\n"
+      "lbu a2, 2(a0)\n"
+      "ret\n"
+      ".data\nbuf: .zero 8\n");
+  bool saw_store = false, saw_load = false;
+  for (const TraceRecord& r : t.records) {
+    const StaticUop& u = t.uop_of(r);
+    if (u.opcode == Opcode::kStoreByte) {
+      saw_store = true;
+      EXPECT_EQ(r.src_vals[2], 0xABu);
+      EXPECT_EQ(r.mem_addr % 8u, 2u);
+    }
+    if (u.opcode == Opcode::kLoadByte) {
+      saw_load = true;
+      EXPECT_EQ(r.result, 0xABu);
+    }
+  }
+  EXPECT_TRUE(saw_store);
+  EXPECT_TRUE(saw_load);
+}
+
+TEST(RvCrack, AllRecordPcsAndTargetsInRange) {
+  const Trace t = kernel_trace("fib", 1u << 20);
+  for (const TraceRecord& r : t.records) ASSERT_LT(r.pc, t.program.uops.size());
+  for (u32 pc = 0; pc < t.program.uops.size(); ++pc)
+    ASSERT_LT(t.program.target_of(pc),
+              static_cast<u32>(t.program.uops.size()) + 1u);
+}
+
+TEST(RvCrack, BudgetBoundsTheTrace) {
+  const Trace t = kernel_trace("crc32", 5000);
+  EXPECT_LE(t.size(), 5000u);
+  EXPECT_GT(t.size(), 4000u);  // cut at an instruction boundary near the cap
+}
+
+// --- bundled kernels ---------------------------------------------------------
+
+TEST(RvKernels, AllBundledKernelsAssembleExecuteAndComplete) {
+  const auto& kernels = bundled_kernels();
+  ASSERT_GE(kernels.size(), 8u);
+  for (const RvKernel& k : kernels) {
+    AsmResult as = assemble(k.name, k.source);
+    ASSERT_TRUE(as.ok()) << k.name << ": " << as.error;
+    RvTraceInfo info;
+    const Trace t = trace_from_program(as.program, 1u << 20, &info);
+    EXPECT_TRUE(info.error.empty()) << k.name << ": " << info.error;
+    EXPECT_TRUE(info.completed) << k.name << " exceeded the 1M-uop budget";
+    EXPECT_GT(t.size(), 1000u) << k.name << " is too small to be interesting";
+    // Every kernel must also fit the stock default budget (300k µops), so
+    // the rv sweep runs each to completion out of the box.
+    EXPECT_LE(t.size(), 300000u) << k.name;
+    // The trace must actually drive the pipeline.
+    const SimResult r = simulate(monolithic_baseline(), t);
+    EXPECT_EQ(r.uops, t.size()) << k.name;
+  }
+}
+
+TEST(RvKernels, WorkloadProfileRoutesThroughRvFrontend) {
+  const WorkloadProfile p = rv_workload_profile("strlen");
+  EXPECT_EQ(p.name, "strlen");
+  EXPECT_EQ(p.rv_kernel, "strlen");
+  const Trace& t = cached_trace(p, 20000);
+  EXPECT_EQ(t.program.name, "strlen");
+  EXPECT_LE(t.size(), 20000u);
+  // Same cache entry on re-request.
+  EXPECT_EQ(&cached_trace(p, 20000), &t);
+}
+
+TEST(RvKernels, TracesAreBitIdenticalAcrossRuns) {
+  const Trace a = kernel_trace("bsort", 50000);
+  const Trace b = kernel_trace("bsort", 50000);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.program.uops.size(), b.program.uops.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const TraceRecord& ra = a.records[i];
+    const TraceRecord& rb = b.records[i];
+    ASSERT_EQ(ra.pc, rb.pc) << i;
+    ASSERT_EQ(ra.src_vals, rb.src_vals) << i;
+    ASSERT_EQ(ra.result, rb.result) << i;
+    ASSERT_EQ(ra.flags_val, rb.flags_val) << i;
+    ASSERT_EQ(ra.mem_addr, rb.mem_addr) << i;
+    ASSERT_EQ(ra.taken, rb.taken) << i;
+  }
+  for (std::size_t i = 0; i < a.program.uops.size(); ++i) {
+    const StaticUop& ua = a.program.uops[i];
+    const StaticUop& ub = b.program.uops[i];
+    ASSERT_EQ(ua.opcode, ub.opcode) << i;
+    ASSERT_EQ(ua.dst, ub.dst) << i;
+    ASSERT_EQ(ua.srcs, ub.srcs) << i;
+    ASSERT_EQ(ua.has_imm, ub.has_imm) << i;
+    ASSERT_EQ(ua.imm, ub.imm) << i;
+    ASSERT_EQ(a.program.branch_targets[i], b.program.branch_targets[i]) << i;
+  }
+  // The serialized form (what `hcrv trace` ships) must be byte-identical:
+  // v3 writes field by field, so no struct padding can leak in.
+  ASSERT_TRUE(save_trace(a, "rv_bitident_a.trace"));
+  ASSERT_TRUE(save_trace(b, "rv_bitident_b.trace"));
+  std::ifstream fa("rv_bitident_a.trace", std::ios::binary);
+  std::ifstream fb("rv_bitident_b.trace", std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(fa)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(fb)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove("rv_bitident_a.trace");
+  std::remove("rv_bitident_b.trace");
+}
+
+// --- the rv sweep ------------------------------------------------------------
+
+TEST(RvSweep, RegisteredAndCoversSuiteTimesLadder) {
+  const auto spec = exp::find_sweep("rv");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->workloads.size(), bundled_kernels().size());
+  EXPECT_EQ(spec->variants.size(), 7u);  // the cumulative ladder
+  for (const WorkloadProfile& w : spec->workloads)
+    EXPECT_FALSE(w.rv_kernel.empty()) << w.name;
+}
+
+TEST(RvSweep, SerialAndParallelResultsAreByteIdentical) {
+  auto spec = *exp::find_sweep("rv");
+  // Trim for test runtime: 3 kernels x 2 variants at a small budget.
+  spec.workloads = {rv_workload_profile("strlen"), rv_workload_profile("fib"),
+                    rv_workload_profile("crc32")};
+  spec.variants = {exp::variant_from_steering(steering_888()),
+                   exp::variant_from_steering(steering_888_br_lr_cr())};
+  spec.trace_lens = {8000};
+  exp::RunOptions serial;
+  serial.threads = 1;
+  const exp::SweepResult a = exp::run_sweep(spec, serial);
+  exp::RunOptions parallel;
+  parallel.threads = 4;
+  const exp::SweepResult b = exp::run_sweep(spec, parallel);
+  EXPECT_EQ(exp::to_csv(a), exp::to_csv(b));
+}
+
+TEST(RvSweep, CumulativeSchemesBeatPlain888OnTheSuite) {
+  // The paper's qualitative ordering on real programs: every cumulative
+  // scheme's suite geomean speedup is at least plain 8-8-8's.
+  auto spec = *exp::find_sweep("rv");
+  spec.trace_lens = {60000};
+  exp::RunOptions opts;
+  opts.threads = 4;
+  const exp::SweepResult r = exp::run_sweep(spec, opts);
+  const auto summaries = exp::summarize(r);
+  ASSERT_EQ(summaries.size(), 7u);
+  ASSERT_EQ(summaries.front().config, "8_8_8");
+  const double base = summaries.front().geomean_speedup;
+  EXPECT_GT(base, 1.0);  // steering pays off at all
+  for (std::size_t i = 1; i < summaries.size(); ++i)
+    EXPECT_GE(summaries[i].geomean_speedup, base) << summaries[i].config;
+}
+
+}  // namespace
+}  // namespace hcsim::rv

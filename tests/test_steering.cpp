@@ -236,6 +236,37 @@ TEST(Steering, ConfigDescriptions) {
   EXPECT_EQ(steering_ir_nodest().describe(), "8_8_8+BR+LR+CR+CP+IR(nodest)");
 }
 
+TEST(Steering, NameParsingRoundTrips) {
+  // Every canonical scheme parses back from its describe() string.
+  const SteeringConfig schemes[] = {
+      steering_baseline(),      steering_888(),       steering_888_br(),
+      steering_888_br_lr(),     steering_888_br_lr_cr(), steering_cp(),
+      steering_ir(),            steering_ir_nodest(), steering_ir_block()};
+  for (const SteeringConfig& c : schemes) {
+    const auto parsed = steering_from_name(c.describe());
+    ASSERT_TRUE(parsed.has_value()) << c.describe();
+    EXPECT_EQ(parsed->describe(), c.describe());
+    EXPECT_EQ(parsed->helper_enabled, c.helper_enabled);
+    EXPECT_EQ(parsed->br, c.br);
+    EXPECT_EQ(parsed->lr, c.lr);
+    EXPECT_EQ(parsed->cr, c.cr);
+    EXPECT_EQ(parsed->cp, c.cp);
+    EXPECT_EQ(parsed->ir, c.ir);
+    EXPECT_EQ(parsed->ir_nodest_only, c.ir_nodest_only);
+    EXPECT_EQ(parsed->ir_block, c.ir_block);
+  }
+  // Skipping a rung works ("+BR" without "+LR" etc.).
+  const auto br_cr = steering_from_name("8_8_8+BR+CR");
+  ASSERT_TRUE(br_cr.has_value());
+  EXPECT_TRUE(br_cr->br && br_cr->cr);
+  EXPECT_FALSE(br_cr->lr);
+  // Malformed names are rejected, not guessed at.
+  EXPECT_FALSE(steering_from_name("").has_value());
+  EXPECT_FALSE(steering_from_name("8_8_8+XX").has_value());
+  EXPECT_FALSE(steering_from_name("8_8_8+LR+BR").has_value());  // wrong order
+  EXPECT_FALSE(steering_from_name("8_8_8+IR+CP").has_value());
+}
+
 TEST(Steering, CumulativeConfigsStackFeatures) {
   EXPECT_FALSE(steering_888().br);
   EXPECT_TRUE(steering_888_br().br);

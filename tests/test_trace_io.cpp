@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #include "trace/trace.hpp"
 #include "wload/executor.hpp"
@@ -76,6 +78,36 @@ TEST(TraceIo, TruncatedFileRejected) {
   std::filesystem::resize_file(path, full / 2);
   Trace t;
   EXPECT_FALSE(load_trace(t, path));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, SavedFilesAreByteStableAcrossRuns) {
+  // v3 serializes field by field: no uninitialized struct padding may leak
+  // into the file, so two saves of equal traces are byte-identical.
+  const std::string pa = temp_path("hcsim_stable_a.trace");
+  const std::string pb = temp_path("hcsim_stable_b.trace");
+  ASSERT_TRUE(save_trace(tiny_trace(), pa));
+  ASSERT_TRUE(save_trace(tiny_trace(), pb));
+  std::ifstream fa(pa, std::ios::binary), fb(pb, std::ios::binary);
+  const std::string a((std::istreambuf_iterator<char>(fa)),
+                      std::istreambuf_iterator<char>());
+  const std::string b((std::istreambuf_iterator<char>(fb)),
+                      std::istreambuf_iterator<char>());
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(TraceIo, CorruptRegisterIdRejected) {
+  // An out-of-range register id would index past the pipeline's fixed
+  // register-state array; load_trace must refuse the file.
+  Trace t = tiny_trace();
+  const std::string path = temp_path("hcsim_badreg.trace");
+  t.program.uops[0].dst = 200;  // not kRegNone, >= kNumRegs
+  ASSERT_TRUE(save_trace(t, path));
+  Trace loaded;
+  EXPECT_FALSE(load_trace(loaded, path));
   std::remove(path.c_str());
 }
 

@@ -6,7 +6,7 @@
 //   hcsim_sweep <sweep> [--threads N] [--len N] [--seeds s1,s2,...]
 //                       [--csv FILE] [--json FILE] [--quiet]
 //
-// sweep: fig06 fig12 cumulative edp helper_design smoke
+// sweep: fig06 fig12 cumulative edp helper_design rv smoke
 // --threads 0 uses every hardware thread; --threads 1 (default) runs
 // serially. Results are identical across thread counts.
 #include <cstdio>
