@@ -43,6 +43,20 @@ void BM_PipelineHelperIr(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineHelperIr)->Arg(10000)->Arg(100000);
 
+void BM_PipelineStreamed(benchmark::State& state) {
+  // Fused generation + simulation through the streaming cursor: the path
+  // long runs take (no materialized trace), including the generator cost.
+  const WorkloadProfile& prof = spec_profile("gcc");
+  const MachineConfig cfg = monolithic_baseline();
+  const u64 n = static_cast<u64>(state.range(0));
+  for (auto _ : state) {
+    SimResult r = simulate_streamed(cfg, prof, n);
+    benchmark::DoNotOptimize(r.final_tick);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PipelineStreamed)->Arg(10000)->Arg(100000);
+
 void BM_WidthPredictorTrain(benchmark::State& state) {
   WidthPredictor p;
   u32 x = 1;

@@ -63,9 +63,9 @@ constexpr bool cr_eligible_opcode(Opcode op) {
 // Construction
 // ---------------------------------------------------------------------------
 
-Pipeline::Pipeline(const MachineConfig& cfg, const Trace& trace)
+Pipeline::Pipeline(const MachineConfig& cfg, const Program& program)
     : cfg_(cfg),
-      trace_(trace),
+      program_(program),
       policy_(cfg.steer),
       wpred_(cfg.wpred),
       bpred_(cfg.bpred),
@@ -87,7 +87,7 @@ Pipeline::Pipeline(const MachineConfig& cfg, const Trace& trace)
   regs_ = std::make_unique<std::array<RegState, kNumRegs>>();
   rob_commit_.assign(cfg.rob_entries, 0);
   cp_window_.assign(2 * cfg.rob_entries, CpTrainEntry{});
-  res_.workload = trace.program.name;
+  res_.workload = program.name;
   res_.config = cfg.steer.describe();
 }
 
@@ -105,7 +105,7 @@ Tick Pipeline::schedule_copy(unsigned from, unsigned to, Tick request_tick,
   // the value is produced and a copy port is free, then spends the transfer
   // latency on the inter-cluster wires before the consumer's register file
   // is written.
-  res_.counters["copy_rename_slots"]++;
+  res_.counters[Counter::kCopyRenameSlots]++;
   const Tick ready = std::max(request_tick, value_ready);
   const Tick issue = copy_slots_[from]->reserve(ready);
   const Tick done =
@@ -185,16 +185,16 @@ Tick Pipeline::memory_access(SeqNum seq, u32 addr, bool is_store, bool,
     // The store's cache access happens post-commit; charge the hierarchy now
     // for port/replacement modeling without stalling the pipeline.
     (void)memsys_.access(agu_cycle, addr, /*is_store=*/true);
-    res_.counters["store_accesses"]++;
+    res_.counters[Counter::kStoreAccesses]++;
     return agu_done;
   }
   const Mob::LoadCheck fwd = mob_.check_load(seq, addr);
   if (fwd.forwarded) {
-    res_.counters["mob_forwards"]++;
+    res_.counters[Counter::kMobForwards]++;
     return std::max(agu_done, fwd.ready_cycle) + wt;
   }
   const u64 done_cycle = memsys_.access(agu_cycle, addr, /*is_store=*/false);
-  res_.counters["load_accesses"]++;
+  res_.counters[Counter::kLoadAccesses]++;
   return done_cycle * wt;
 }
 
@@ -208,18 +208,19 @@ void Pipeline::account_nready(unsigned cluster, bool eligible_other, Tick ready,
   if (issue <= ready) return;
   // A µop counts toward the imbalance metric (at most once) if, during any
   // cycle it sat ready-but-unissued in its own cluster, the other cluster
-  // had an issue slot it could have used (Section 3.7's NREADY).
+  // had an issue slot it could have used (Section 3.7's NREADY). The ring
+  // ledger answers this as a single range probe over [ready, issue) —
+  // arbitrarily long ready→issue gaps are classified exactly (the old
+  // tick-stepping loop silently gave up after 64 samples and, stepping by
+  // the slower cluster's cycle, skipped half the fast-clock cycles).
   const unsigned other = (cluster == kHelperIdx) ? kWideIdx : kHelperIdx;
-  const Tick step = cycle_ticks(cluster);
-  unsigned iterations = 0;
-  for (Tick t = ready; t < issue && iterations < 64; t += step, ++iterations) {
-    if (issue_slots_[other]->has_free_slot(t)) {
-      if (cluster == kWideIdx)
-        ++res_.nready_w2n;
-      else
-        ++res_.nready_n2w;
-      return;
-    }
+  const SlotSchedule::RangeProbe probe = issue_slots_[other]->free_slot_in(ready, issue);
+  if (probe.truncated) res_.counters[Counter::kNreadyTruncations]++;
+  if (probe.free) {
+    if (cluster == kWideIdx)
+      ++res_.nready_w2n;
+    else
+      ++res_.nready_n2w;
   }
 }
 
@@ -227,363 +228,361 @@ void Pipeline::account_nready(unsigned cluster, bool eligible_other, Tick ready,
 // Main loop
 // ---------------------------------------------------------------------------
 
-SimResult Pipeline::run() {
+void Pipeline::feed(const TraceRecord& rec) {
   const Tick wt = wide_ticks();
-  Tick last_fetch = 0;
-  Tick last_dispatch = 0;
+  const StaticUop& su = program_.uops[rec.pc];
+  const OpcodeInfo& info = opcode_info(su.opcode);
+  const SeqNum seq = next_seq_++;
 
-  for (const TraceRecord& rec : trace_.records) {
-    const StaticUop& su = trace_.program.uops[rec.pc];
-    const OpcodeInfo& info = opcode_info(su.opcode);
-    const SeqNum seq = next_seq_++;
+  // ----- fetch (trace cache, wide clock) --------------------------------
+  const Tick fetch = fetch_slots_.reserve(std::max(fetch_barrier_, last_fetch_));
+  last_fetch_ = fetch;
+  res_.counters[Counter::kFetched]++;
 
-    // ----- fetch (trace cache, wide clock) --------------------------------
-    const Tick fetch = fetch_slots_.reserve(std::max(fetch_barrier_, last_fetch));
-    last_fetch = fetch;
-    res_.counters["fetched"]++;
+  // ----- rename/dispatch --------------------------------------------------
+  Tick rename_ready = fetch + cfg_.frontend_depth * wt;
+  rename_ready = std::max(rename_ready, rob_commit_[seq % cfg_.rob_entries]);
+  rename_ready = std::max(rename_ready, dispatch_backpressure_);
+  const Tick disp = rename_slots_.reserve(std::max(rename_ready, last_dispatch_));
+  last_dispatch_ = disp;
 
-    // ----- rename/dispatch --------------------------------------------------
-    Tick rename_ready = fetch + cfg_.frontend_depth * wt;
-    rename_ready = std::max(rename_ready, rob_commit_[seq % cfg_.rob_entries]);
-    rename_ready = std::max(rename_ready, dispatch_backpressure_);
-    const Tick disp = rename_slots_.reserve(std::max(rename_ready, last_dispatch));
-    last_dispatch = disp;
+  // ----- steering context -------------------------------------------------
+  SteerContext ctx;
+  ctx.uop = &su;
+  ctx.helper_capable = info.helper_capable;
+  ctx.frontend_resolvable = su.opcode == Opcode::kBranchCond;
 
-    // ----- steering context -------------------------------------------------
-    SteerContext ctx;
-    ctx.uop = &su;
-    ctx.helper_capable = info.helper_capable;
-    ctx.frontend_resolvable = su.opcode == Opcode::kBranchCond;
+  bool all_srcs_narrow = true;
+  unsigned wide_srcs = 0;
+  u32 wide_src_val = 0;
+  bool have_narrow_src = false;
+  for (unsigned k = 0; k < kMaxSrcs; ++k) {
+    const RegId r = su.srcs[k];
+    if (r == kRegNone) continue;
+    const RegState& st = (*regs_)[r];
+    // Paper Section 3.2: the actual width is used if the producer already
+    // wrote back; otherwise the rename-table width bit (prediction).
+    const bool narrow = is_flags(r) ? true
+                        : (st.known_at <= disp ? st.value_narrow : st.pred_narrow);
+    if (!narrow) {
+      ++wide_srcs;
+      wide_src_val = rec.src_vals[k];
+    } else if (!is_flags(r)) {
+      have_narrow_src = true;
+    }
+    all_srcs_narrow = all_srcs_narrow && narrow;
+  }
+  if (su.has_imm) {
+    const bool narrow_imm = is_narrow(su.imm, cfg_.helper_width_bits);
+    all_srcs_narrow = all_srcs_narrow && narrow_imm;
+    if (narrow_imm) {
+      have_narrow_src = true;
+    } else {
+      ++wide_srcs;
+      wide_src_val = su.imm;
+    }
+  }
+  ctx.all_srcs_narrow = all_srcs_narrow;
 
-    bool all_srcs_narrow = true;
-    unsigned wide_srcs = 0;
-    u32 wide_src_val = 0;
-    bool have_narrow_src = false;
+  const bool tracked = info.width_tracked && su.has_dst();
+  const WidthPredictor::Prediction rp = wpred_.predict_result(rec.pc);
+  ctx.result_pred_narrow = rp.narrow;
+  ctx.result_confident = rp.confident;
+  res_.counters[Counter::kWpredLookups]++;
+
+  // CR shape: exactly one wide source, at least one narrow, additive op,
+  // result expected wide (Section 3.5's 8-32-32 pattern).
+  ctx.cr_shape = cr_eligible_opcode(su.opcode) && wide_srcs == 1 && have_narrow_src &&
+                 (!tracked || !rp.narrow);
+  if (ctx.cr_shape) {
+    const WidthPredictor::Prediction cp = wpred_.predict_carry(rec.pc);
+    ctx.carry_pred_confined = cp.narrow;
+    ctx.carry_confident = cp.confident;
+  }
+
+  if (su.reads_flags()) {
+    ctx.flags_producer_in_helper =
+        (*regs_)[kRegFlags].producer_cluster == kHelperIdx;
+  }
+  ctx.iq_occ_wide = queues_[kWideIdx]->occupancy(disp);
+  ctx.iq_occ_helper = queues_[kHelperIdx]->occupancy(disp);
+  ctx.iq_size_wide = cfg_.iq_wide;
+  ctx.iq_size_helper = cfg_.iq_helper;
+
+  SteerDecision decision = policy_.decide(ctx);
+
+  // Block-granularity splitting (Section 3.7's proposed extension): a
+  // triggered split opens a block; subsequent splittable µops follow it
+  // into the helper so intra-block dataflow never crosses the clusters.
+  if (cfg_.steer.ir_block) {
+    const bool splittable = info.helper_capable &&
+                            info.op_class == OpClass::kIntAlu &&
+                            !is_branch(su.opcode);
+    if (decision == SteerDecision::kSplit) {
+      block_split_remaining_ = cfg_.steer.ir_block_len;
+    } else if (block_split_remaining_ > 0 && splittable &&
+               decision == SteerDecision::kWide) {
+      decision = SteerDecision::kSplit;
+      res_.counters[Counter::kBlockSplits]++;
+    }
+    if (block_split_remaining_ > 0) --block_split_remaining_;
+  }
+
+  // ----- actual widths (used for misprediction detection + training) -----
+  const bool result_narrow_actual =
+      su.has_dst() ? is_narrow(rec.result, cfg_.helper_width_bits) : true;
+  bool srcs_narrow_actual = true;
+  for (unsigned k = 0; k < kMaxSrcs; ++k) {
+    if (su.srcs[k] == kRegNone || is_flags(su.srcs[k])) continue;
+    srcs_narrow_actual =
+        srcs_narrow_actual && is_narrow(rec.src_vals[k], cfg_.helper_width_bits);
+  }
+  if (su.has_imm)
+    srcs_narrow_actual = srcs_narrow_actual && is_narrow(su.imm, cfg_.helper_width_bits);
+
+  // ----- execution helper --------------------------------------------------
+  // Runs the µop in `cluster` starting no earlier than `from_tick`;
+  // returns {ready, issue, complete}.
+  struct ExecTimes {
+    Tick ready, issue, complete;
+  };
+  auto exec_in = [&](unsigned cluster, Tick from_tick) -> ExecTimes {
+    Tick src_ready = from_tick;
     for (unsigned k = 0; k < kMaxSrcs; ++k) {
       const RegId r = su.srcs[k];
       if (r == kRegNone) continue;
-      const RegState& st = (*regs_)[r];
-      // Paper Section 3.2: the actual width is used if the producer already
-      // wrote back; otherwise the rename-table width bit (prediction).
-      const bool narrow = is_flags(r) ? true
-                          : (st.known_at <= disp ? st.value_narrow : st.pred_narrow);
-      if (!narrow) {
-        ++wide_srcs;
-        wide_src_val = rec.src_vals[k];
-      } else if (!is_flags(r)) {
-        have_narrow_src = true;
-      }
-      all_srcs_narrow = all_srcs_narrow && narrow;
+      src_ready = std::max(src_ready, acquire_value(r, cluster, from_tick));
     }
-    if (su.has_imm) {
-      const bool narrow_imm = is_narrow(su.imm, cfg_.helper_width_bits);
-      all_srcs_narrow = all_srcs_narrow && narrow_imm;
-      if (narrow_imm) {
-        have_narrow_src = true;
-      } else {
-        ++wide_srcs;
-        wide_src_val = su.imm;
-      }
-    }
-    ctx.all_srcs_narrow = all_srcs_narrow;
+    const Tick qdisp = queues_[cluster]->earliest_dispatch(from_tick);
+    // Dispatch is in order: a full issue queue backpressures the frontend
+    // for younger µops as well.
+    dispatch_backpressure_ = std::max(dispatch_backpressure_, qdisp);
+    const Tick ready = std::max(src_ready, qdisp);
+    const Tick issue = issue_slots_[cluster]->reserve(ready);
+    queues_[cluster]->add(issue);
+    res_.counters[cluster == kHelperIdx ? Counter::kIssueHelper
+                  : cluster == kFpIdx   ? Counter::kIssueFp
+                                        : Counter::kIssueWide]++;
 
-    const bool tracked = info.width_tracked && su.has_dst();
-    const WidthPredictor::Prediction rp = wpred_.predict_result(rec.pc);
-    ctx.result_pred_narrow = rp.narrow;
-    ctx.result_confident = rp.confident;
-    res_.counters["wpred_lookups"]++;
-
-    // CR shape: exactly one wide source, at least one narrow, additive op,
-    // result expected wide (Section 3.5's 8-32-32 pattern).
-    ctx.cr_shape = cr_eligible_opcode(su.opcode) && wide_srcs == 1 && have_narrow_src &&
-                   (!tracked || !rp.narrow);
-    if (ctx.cr_shape) {
-      const WidthPredictor::Prediction cp = wpred_.predict_carry(rec.pc);
-      ctx.carry_pred_confined = cp.narrow;
-      ctx.carry_confident = cp.confident;
-    }
-
-    if (su.reads_flags()) {
-      ctx.flags_producer_in_helper =
-          (*regs_)[kRegFlags].producer_cluster == kHelperIdx;
-    }
-    ctx.iq_occ_wide = queues_[kWideIdx]->occupancy(disp);
-    ctx.iq_occ_helper = queues_[kHelperIdx]->occupancy(disp);
-    ctx.iq_size_wide = cfg_.iq_wide;
-    ctx.iq_size_helper = cfg_.iq_helper;
-
-    SteerDecision decision = policy_.decide(ctx);
-
-    // Block-granularity splitting (Section 3.7's proposed extension): a
-    // triggered split opens a block; subsequent splittable µops follow it
-    // into the helper so intra-block dataflow never crosses the clusters.
-    if (cfg_.steer.ir_block) {
-      const bool splittable = info.helper_capable &&
-                              info.op_class == OpClass::kIntAlu &&
-                              !is_branch(su.opcode);
-      if (decision == SteerDecision::kSplit) {
-        block_split_remaining_ = cfg_.steer.ir_block_len;
-      } else if (block_split_remaining_ > 0 && splittable &&
-                 decision == SteerDecision::kWide) {
-        decision = SteerDecision::kSplit;
-        res_.counters["block_splits"]++;
-      }
-      if (block_split_remaining_ > 0) --block_split_remaining_;
-    }
-
-    // ----- actual widths (used for misprediction detection + training) -----
-    const bool result_narrow_actual =
-        su.has_dst() ? is_narrow(rec.result, cfg_.helper_width_bits) : true;
-    bool srcs_narrow_actual = true;
-    for (unsigned k = 0; k < kMaxSrcs; ++k) {
-      if (su.srcs[k] == kRegNone || is_flags(su.srcs[k])) continue;
-      srcs_narrow_actual =
-          srcs_narrow_actual && is_narrow(rec.src_vals[k], cfg_.helper_width_bits);
-    }
-    if (su.has_imm)
-      srcs_narrow_actual = srcs_narrow_actual && is_narrow(su.imm, cfg_.helper_width_bits);
-
-    // ----- execution helper --------------------------------------------------
-    // Runs the µop in `cluster` starting no earlier than `from_tick`;
-    // returns {ready, issue, complete}.
-    struct ExecTimes {
-      Tick ready, issue, complete;
-    };
-    auto exec_in = [&](unsigned cluster, Tick from_tick) -> ExecTimes {
-      Tick src_ready = from_tick;
-      for (unsigned k = 0; k < kMaxSrcs; ++k) {
-        const RegId r = su.srcs[k];
-        if (r == kRegNone) continue;
-        src_ready = std::max(src_ready, acquire_value(r, cluster, from_tick));
-      }
-      const Tick qdisp = queues_[cluster]->earliest_dispatch(from_tick);
-      // Dispatch is in order: a full issue queue backpressures the frontend
-      // for younger µops as well.
-      dispatch_backpressure_ = std::max(dispatch_backpressure_, qdisp);
-      const Tick ready = std::max(src_ready, qdisp);
-      const Tick issue = issue_slots_[cluster]->reserve(ready);
-      queues_[cluster]->add(issue);
-      res_.counters[cluster == kHelperIdx ? "issue_helper"
-                    : cluster == kFpIdx   ? "issue_fp"
-                                          : "issue_wide"]++;
-
-      Tick complete;
-      if (is_memory(su.opcode)) {
-        const Tick agu_done = issue + cycle_ticks(cluster);
-        complete = memory_access(seq, rec.mem_addr, is_store(su.opcode),
-                                 su.opcode == Opcode::kLoadByte, agu_done);
-      } else {
-        complete = issue + info.latency_wide * cycle_ticks(cluster);
-      }
-      return ExecTimes{ready, issue, complete};
-    };
-
-    // Actual carry confinement for CR candidates: the operation's output
-    // (result, or effective address for memory ops) must agree with the wide
-    // source on everything above the helper width (Figure 10's condition).
-    const u32 cr_output = is_memory(su.opcode) ? rec.mem_addr : rec.result;
-    const bool cr_confined_actual =
-        upper_bits_match(wide_src_val, cr_output, cfg_.helper_width_bits);
-
-    unsigned cluster;
-    Tick issue = 0;
-    Tick complete = 0;
-    bool fatal = false;
-
-    if (decision == SteerDecision::kSplit) {
-      // ----- IR instruction splitting (Section 3.7) -------------------------
-      ++res_.split_uops;
-      res_.chunk_uops += 4;
-      res_.counters["chunk_rename_slots"] += 3;
-      for (unsigned k = 0; k < 3; ++k) (void)rename_slots_.reserve(disp);
-
-      Tick src_ready = disp;
-      for (unsigned k = 0; k < kMaxSrcs; ++k) {
-        const RegId r = su.srcs[k];
-        if (r == kRegNone) continue;
-        src_ready = std::max(src_ready, acquire_value(r, kHelperIdx, disp));
-      }
-      // Four chained 8-bit chunks, LSB to MSB, back to back in the helper.
-      Tick prev = src_ready;
-      for (unsigned k = 0; k < 4; ++k) {
-        const Tick qd = queues_[kHelperIdx]->earliest_dispatch(disp);
-        dispatch_backpressure_ = std::max(dispatch_backpressure_, qd);
-        const Tick rdy = std::max(qd, prev);
-        const Tick iss = issue_slots_[kHelperIdx]->reserve(rdy);
-        queues_[kHelperIdx]->add(iss);
-        res_.counters["issue_helper"]++;
-        if (k == 0) issue = iss;
-        prev = iss + cycle_ticks(kHelperIdx);
-      }
-      complete = prev;
-      cluster = kHelperIdx;
-      account_nready(kHelperIdx, true, std::max(src_ready, disp), issue);
+    Tick complete;
+    if (is_memory(su.opcode)) {
+      const Tick agu_done = issue + cycle_ticks(cluster);
+      complete = memory_access(seq, rec.mem_addr, is_store(su.opcode),
+                               su.opcode == Opcode::kLoadByte, agu_done);
     } else {
-      cluster = is_fp(su.opcode) ? kFpIdx
-                : (decision == SteerDecision::kWide ? kWideIdx : kHelperIdx);
-      ExecTimes t = exec_in(cluster, disp);
-
-      // ----- width misprediction detection (fatal = flush + resteer) -------
-      if (cluster == kHelperIdx) {
-        if (decision == SteerDecision::kHelper) {
-          fatal = !srcs_narrow_actual || (tracked && !result_narrow_actual);
-        } else if (decision == SteerDecision::kHelperCr) {
-          // Carry escaped the low byte: caught by the carry-out signal.
-          fatal = !cr_confined_actual;
-          if (fatal) ++res_.cr_violations;
-        }
-        if (fatal) {
-          // Flushing recovery (Section 3.2): squash from this µop, refill
-          // the frontend, re-execute in the wide backend. CR violations are
-          // caught by the AGU/ALU carry-out signal at execute; 8-8-8 result
-          // width violations are only known at writeback (data return).
-          const Tick detect = decision == SteerDecision::kHelperCr
-                                  ? t.issue + cycle_ticks(kHelperIdx)
-                                  : t.complete;
-          fetch_barrier_ = std::max(fetch_barrier_, detect);
-          const Tick redisp = detect + cfg_.frontend_depth * wt;
-          (void)rename_slots_.reserve(redisp);
-          t = exec_in(kWideIdx, redisp);
-          cluster = kWideIdx;
-          res_.counters["flush_refills"]++;
-        }
-      }
-      issue = t.issue;
-      complete = t.complete;
-
-      // NREADY eligibility is structural (Section 3.7): a wide µop counts
-      // against the helper when the helper had a free slot it *could* have
-      // used (via steering or splitting), and vice versa.
-      const bool eligible_other = cluster == kHelperIdx || info.helper_capable;
-      account_nready(cluster, eligible_other, t.ready, t.issue);
+      complete = issue + info.latency_wide * cycle_ticks(cluster);
     }
+    return ExecTimes{ready, issue, complete};
+  };
 
-    // ----- steering statistics ---------------------------------------------
+  // Actual carry confinement for CR candidates: the operation's output
+  // (result, or effective address for memory ops) must agree with the wide
+  // source on everything above the helper width (Figure 10's condition).
+  const u32 cr_output = is_memory(su.opcode) ? rec.mem_addr : rec.result;
+  const bool cr_confined_actual =
+      upper_bits_match(wide_src_val, cr_output, cfg_.helper_width_bits);
+
+  unsigned cluster;
+  Tick issue = 0;
+  Tick complete = 0;
+  bool fatal = false;
+
+  if (decision == SteerDecision::kSplit) {
+    // ----- IR instruction splitting (Section 3.7) -------------------------
+    ++res_.split_uops;
+    res_.chunk_uops += 4;
+    res_.counters[Counter::kChunkRenameSlots] += 3;
+    for (unsigned k = 0; k < 3; ++k) (void)rename_slots_.reserve(disp);
+
+    Tick src_ready = disp;
+    for (unsigned k = 0; k < kMaxSrcs; ++k) {
+      const RegId r = su.srcs[k];
+      if (r == kRegNone) continue;
+      src_ready = std::max(src_ready, acquire_value(r, kHelperIdx, disp));
+    }
+    // Four chained 8-bit chunks, LSB to MSB, back to back in the helper.
+    Tick prev = src_ready;
+    for (unsigned k = 0; k < 4; ++k) {
+      const Tick qd = queues_[kHelperIdx]->earliest_dispatch(disp);
+      dispatch_backpressure_ = std::max(dispatch_backpressure_, qd);
+      const Tick rdy = std::max(qd, prev);
+      const Tick iss = issue_slots_[kHelperIdx]->reserve(rdy);
+      queues_[kHelperIdx]->add(iss);
+      res_.counters[Counter::kIssueHelper]++;
+      if (k == 0) issue = iss;
+      prev = iss + cycle_ticks(kHelperIdx);
+    }
+    complete = prev;
+    cluster = kHelperIdx;
+    account_nready(kHelperIdx, true, std::max(src_ready, disp), issue);
+  } else {
+    cluster = is_fp(su.opcode) ? kFpIdx
+              : (decision == SteerDecision::kWide ? kWideIdx : kHelperIdx);
+    ExecTimes t = exec_in(cluster, disp);
+
+    // ----- width misprediction detection (fatal = flush + resteer) -------
     if (cluster == kHelperIdx) {
-      ++res_.to_helper;
-      if (decision == SteerDecision::kHelperCr) ++res_.cr_steered;
-      if (is_branch(su.opcode)) ++res_.br_steered;
-    } else if (cluster != kFpIdx) {
-      ++res_.to_wide;
-    }
-
-    // ----- width prediction classification (Figure 5) -----------------------
-    if (tracked) {
-      if (fatal && decision != SteerDecision::kHelperCr) {
-        ++res_.wp_fatal;
-      } else if (rp.narrow != result_narrow_actual) {
-        ++res_.wp_nonfatal;
-      } else {
-        ++res_.wp_correct;
+      if (decision == SteerDecision::kHelper) {
+        fatal = !srcs_narrow_actual || (tracked && !result_narrow_actual);
+      } else if (decision == SteerDecision::kHelperCr) {
+        // Carry escaped the low byte: caught by the carry-out signal.
+        fatal = !cr_confined_actual;
+        if (fatal) ++res_.cr_violations;
       }
-      wpred_.train_result(rec.pc, result_narrow_actual);
-    }
-    if (ctx.cr_shape) wpred_.train_carry(rec.pc, cr_confined_actual);
-
-    // ----- branches -----------------------------------------------------------
-    if (su.opcode == Opcode::kBranchCond) {
-      ++res_.branches;
-      const bool pred = bpred_.predict(rec.pc);
-      bpred_.update(rec.pc, rec.taken);
-      if (pred != rec.taken) {
-        ++res_.branch_mispredicts;
-        fetch_barrier_ = std::max(fetch_barrier_, complete);
+      if (fatal) {
+        // Flushing recovery (Section 3.2): squash from this µop, refill
+        // the frontend, re-execute in the wide backend. CR violations are
+        // caught by the AGU/ALU carry-out signal at execute; 8-8-8 result
+        // width violations are only known at writeback (data return).
+        const Tick detect = decision == SteerDecision::kHelperCr
+                                ? t.issue + cycle_ticks(kHelperIdx)
+                                : t.complete;
+        fetch_barrier_ = std::max(fetch_barrier_, detect);
+        const Tick redisp = detect + cfg_.frontend_depth * wt;
+        (void)rename_slots_.reserve(redisp);
+        t = exec_in(kWideIdx, redisp);
+        cluster = kWideIdx;
+        res_.counters[Counter::kFlushRefills]++;
       }
     }
+    issue = t.issue;
+    complete = t.complete;
 
-    // ----- writeback: register location/width bookkeeping -------------------
-    if (su.has_dst()) {
-      RegState& st = (*regs_)[su.dst];
-      st = RegState{};
-      st.present = {false, false, false};
-      st.avail = {kTickNever, kTickNever, kTickNever};
-      st.present[cluster] = true;
-      st.avail[cluster] = complete;
-      st.value_narrow = result_narrow_actual;
-      st.pred_narrow = tracked ? rp.narrow : result_narrow_actual;
-      st.known_at = complete;
-      st.producer_pc = rec.pc;
-      st.producer_seq = seq;
-      st.producer_cluster = cluster;
-      res_.counters[cluster == kHelperIdx ? "rf_write_helper" : "rf_write_wide"]++;
-
-      if (decision == SteerDecision::kSplit) {
-        if (cfg_.steer.ir_block) {
-          // Block mode: results stay helper-resident; only µops outside the
-          // block that actually consume the value pay a demand copy.
-        } else {
-          // The full 32-bit result is prefetched back to the wide cluster
-          // via four 8-bit copy µops (Section 3.7).
-          Tick wavail = complete;
-          for (unsigned k = 0; k < 4; ++k)
-            wavail = std::max(
-                wavail, schedule_copy(kHelperIdx, kWideIdx, complete, complete));
-          st.present[kWideIdx] = true;
-          st.avail[kWideIdx] = wavail;
-        }
-      } else if (decision == SteerDecision::kHelperCr && cluster == kHelperIdx &&
-                 !result_narrow_actual) {
-        if (is_load(su.opcode)) {
-          // CR load: the AGU add ran in the helper but the (wide) data is
-          // delivered by the shared MOB straight into the wide register
-          // file — the 8-bit RF cannot hold it.
-          st.present = {true, false, false};
-          st.avail = {complete, kTickNever, kTickNever};
-          st.producer_cluster = kWideIdx;
-        }
-        // CR arithmetic: the low byte lives in the helper; the upper 24
-        // bits stay in the tagged wide source register (Section 3.5), so a
-        // wide consumer reconstructs the value through the ordinary demand
-        // copy of the low byte. Nothing extra to do here.
-      }
-
-      // LR (Section 3.4): the MOB is shared, so 8-bit loads allocate a
-      // register in *both* clusters and the load data is written to both
-      // register files at writeback — no copy µop needed. This covers both
-      // directions: a byte load whose address resolves in the wide cluster
-      // feeding a narrow consumer, and a helper-executed byte load feeding
-      // a wide consumer.
-      if (cfg_.steer.lr && su.opcode == Opcode::kLoadByte && cluster != kFpIdx) {
-        const unsigned other = cluster == kHelperIdx ? kWideIdx : kHelperIdx;
-        if (!st.present[other] && result_narrow_actual) {
-          st.present[other] = true;
-          st.avail[other] = complete + cfg_.copy_transfer_cycles * wt;
-          ++res_.replicated_loads;
-          res_.counters[other == kHelperIdx ? "rf_write_helper" : "rf_write_wide"]++;
-        }
-      }
-
-      // CP training-window bookkeeping + prefetch generation.
-      CpTrainEntry& slot = cp_window_[seq % cp_window_.size()];
-      if (slot.valid) wpred_.train_copy(slot.pc, slot.copied || slot.prefetch_used);
-      slot = CpTrainEntry{seq, rec.pc, false, false, true};
-      maybe_copy_prefetch(su.dst, rec.pc, cluster, complete);
-    }
-    if (su.writes_flags()) {
-      RegState& fl = (*regs_)[kRegFlags];
-      fl = RegState{};
-      fl.present = {false, false, false};
-      fl.avail = {kTickNever, kTickNever, kTickNever};
-      fl.present[cluster] = true;
-      fl.avail[cluster] = complete;
-      fl.value_narrow = true;  // condition codes are narrow by definition
-      fl.pred_narrow = true;
-      fl.known_at = complete;
-      fl.producer_pc = rec.pc;
-      fl.producer_seq = kSeqNone;  // flags don't participate in CP training
-      fl.producer_cluster = cluster;
-    }
-
-    // ----- commit (in order, wide clock) -------------------------------------
-    const Tick ctick = commit_slots_.reserve(std::max(complete, last_commit_));
-    last_commit_ = std::max(last_commit_, ctick);
-    rob_commit_[seq % cfg_.rob_entries] = ctick;
-    if (is_store(su.opcode)) mob_.store_retired(seq);
-    ++res_.uops;
-    res_.counters["committed"]++;
-    res_.final_tick = std::max(res_.final_tick, ctick);
+    // NREADY eligibility is structural (Section 3.7): a wide µop counts
+    // against the helper when the helper had a free slot it *could* have
+    // used (via steering or splitting), and vice versa.
+    const bool eligible_other = cluster == kHelperIdx || info.helper_capable;
+    account_nready(cluster, eligible_other, t.ready, t.issue);
   }
 
+  // ----- steering statistics ---------------------------------------------
+  if (cluster == kHelperIdx) {
+    ++res_.to_helper;
+    if (decision == SteerDecision::kHelperCr) ++res_.cr_steered;
+    if (is_branch(su.opcode)) ++res_.br_steered;
+  } else if (cluster != kFpIdx) {
+    ++res_.to_wide;
+  }
+
+  // ----- width prediction classification (Figure 5) -----------------------
+  if (tracked) {
+    if (fatal && decision != SteerDecision::kHelperCr) {
+      ++res_.wp_fatal;
+    } else if (rp.narrow != result_narrow_actual) {
+      ++res_.wp_nonfatal;
+    } else {
+      ++res_.wp_correct;
+    }
+    wpred_.train_result(rec.pc, result_narrow_actual);
+  }
+  if (ctx.cr_shape) wpred_.train_carry(rec.pc, cr_confined_actual);
+
+  // ----- branches -----------------------------------------------------------
+  if (su.opcode == Opcode::kBranchCond) {
+    ++res_.branches;
+    const bool pred = bpred_.predict(rec.pc);
+    bpred_.update(rec.pc, rec.taken);
+    if (pred != rec.taken) {
+      ++res_.branch_mispredicts;
+      fetch_barrier_ = std::max(fetch_barrier_, complete);
+    }
+  }
+
+  // ----- writeback: register location/width bookkeeping -------------------
+  if (su.has_dst()) {
+    RegState& st = (*regs_)[su.dst];
+    st = RegState{};
+    st.present = {false, false, false};
+    st.avail = {kTickNever, kTickNever, kTickNever};
+    st.present[cluster] = true;
+    st.avail[cluster] = complete;
+    st.value_narrow = result_narrow_actual;
+    st.pred_narrow = tracked ? rp.narrow : result_narrow_actual;
+    st.known_at = complete;
+    st.producer_pc = rec.pc;
+    st.producer_seq = seq;
+    st.producer_cluster = cluster;
+    res_.counters[cluster == kHelperIdx ? Counter::kRfWriteHelper : Counter::kRfWriteWide]++;
+
+    if (decision == SteerDecision::kSplit) {
+      if (cfg_.steer.ir_block) {
+        // Block mode: results stay helper-resident; only µops outside the
+        // block that actually consume the value pay a demand copy.
+      } else {
+        // The full 32-bit result is prefetched back to the wide cluster
+        // via four 8-bit copy µops (Section 3.7).
+        Tick wavail = complete;
+        for (unsigned k = 0; k < 4; ++k)
+          wavail = std::max(
+              wavail, schedule_copy(kHelperIdx, kWideIdx, complete, complete));
+        st.present[kWideIdx] = true;
+        st.avail[kWideIdx] = wavail;
+      }
+    } else if (decision == SteerDecision::kHelperCr && cluster == kHelperIdx &&
+               !result_narrow_actual) {
+      if (is_load(su.opcode)) {
+        // CR load: the AGU add ran in the helper but the (wide) data is
+        // delivered by the shared MOB straight into the wide register
+        // file — the 8-bit RF cannot hold it.
+        st.present = {true, false, false};
+        st.avail = {complete, kTickNever, kTickNever};
+        st.producer_cluster = kWideIdx;
+      }
+      // CR arithmetic: the low byte lives in the helper; the upper 24
+      // bits stay in the tagged wide source register (Section 3.5), so a
+      // wide consumer reconstructs the value through the ordinary demand
+      // copy of the low byte. Nothing extra to do here.
+    }
+
+    // LR (Section 3.4): the MOB is shared, so 8-bit loads allocate a
+    // register in *both* clusters and the load data is written to both
+    // register files at writeback — no copy µop needed. This covers both
+    // directions: a byte load whose address resolves in the wide cluster
+    // feeding a narrow consumer, and a helper-executed byte load feeding
+    // a wide consumer.
+    if (cfg_.steer.lr && su.opcode == Opcode::kLoadByte && cluster != kFpIdx) {
+      const unsigned other = cluster == kHelperIdx ? kWideIdx : kHelperIdx;
+      if (!st.present[other] && result_narrow_actual) {
+        st.present[other] = true;
+        st.avail[other] = complete + cfg_.copy_transfer_cycles * wt;
+        ++res_.replicated_loads;
+        res_.counters[other == kHelperIdx ? Counter::kRfWriteHelper : Counter::kRfWriteWide]++;
+      }
+    }
+
+    // CP training-window bookkeeping + prefetch generation.
+    CpTrainEntry& slot = cp_window_[seq % cp_window_.size()];
+    if (slot.valid) wpred_.train_copy(slot.pc, slot.copied || slot.prefetch_used);
+    slot = CpTrainEntry{seq, rec.pc, false, false, true};
+    maybe_copy_prefetch(su.dst, rec.pc, cluster, complete);
+  }
+  if (su.writes_flags()) {
+    RegState& fl = (*regs_)[kRegFlags];
+    fl = RegState{};
+    fl.present = {false, false, false};
+    fl.avail = {kTickNever, kTickNever, kTickNever};
+    fl.present[cluster] = true;
+    fl.avail[cluster] = complete;
+    fl.value_narrow = true;  // condition codes are narrow by definition
+    fl.pred_narrow = true;
+    fl.known_at = complete;
+    fl.producer_pc = rec.pc;
+    fl.producer_seq = kSeqNone;  // flags don't participate in CP training
+    fl.producer_cluster = cluster;
+  }
+
+  // ----- commit (in order, wide clock) -------------------------------------
+  const Tick ctick = commit_slots_.reserve(std::max(complete, last_commit_));
+  last_commit_ = std::max(last_commit_, ctick);
+  rob_commit_[seq % cfg_.rob_entries] = ctick;
+  if (is_store(su.opcode)) mob_.store_retired(seq);
+  ++res_.uops;
+  res_.counters[Counter::kCommitted]++;
+  res_.final_tick = std::max(res_.final_tick, ctick);
+}
+
+SimResult Pipeline::finish() {
+  const Tick wt = wide_ticks();
   train_cp_window(next_seq_);
   res_.cp_wasted = res_.copy_prefetches >= res_.cp_useful
                        ? res_.copy_prefetches - res_.cp_useful
@@ -594,14 +593,28 @@ SimResult Pipeline::run() {
                  : 0.0;
   res_.dl0_hit_rate = memsys_.dl0().hit_ratio().value();
   res_.ul1_hit_rate = memsys_.ul1().hit_ratio().value();
-  res_.counters["dl0_accesses"] = memsys_.dl0().accesses();
-  res_.counters["ul1_accesses"] = memsys_.ul1().accesses();
+  res_.counters[Counter::kDl0Accesses] = memsys_.dl0().accesses();
+  res_.counters[Counter::kUl1Accesses] = memsys_.ul1().accesses();
   return res_;
 }
 
+SimResult Pipeline::run(TraceCursor& cursor) {
+  for (std::span<const TraceRecord> chunk = cursor.next_chunk(); !chunk.empty();
+       chunk = cursor.next_chunk()) {
+    for (const TraceRecord& rec : chunk) feed(rec);
+  }
+  return finish();
+}
+
 SimResult simulate(const MachineConfig& cfg, const Trace& trace) {
-  Pipeline p(cfg, trace);
-  return p.run();
+  TraceVectorCursor cursor(trace);
+  Pipeline p(cfg, trace.program);
+  return p.run(cursor);
+}
+
+SimResult simulate(const MachineConfig& cfg, TraceCursor& cursor) {
+  Pipeline p(cfg, cursor.program());
+  return p.run(cursor);
 }
 
 }  // namespace hcsim

@@ -31,11 +31,21 @@ namespace hcsim {
 
 class Pipeline {
  public:
-  Pipeline(const MachineConfig& cfg, const Trace& trace);
+  /// The pipeline binds to a static program; dynamic records are fed in
+  /// program order — all at once (run) or incrementally (feed/finish), which
+  /// is what lets long traces stream through without being materialized.
+  Pipeline(const MachineConfig& cfg, const Program& program);
   ~Pipeline();
 
-  /// Simulate the whole trace and return the collected statistics.
-  SimResult run();
+  /// Process one dynamic µop.
+  void feed(const TraceRecord& rec);
+
+  /// Flush training windows, derive the summary statistics and return the
+  /// result. Call exactly once, after the last feed().
+  SimResult finish();
+
+  /// Pull every record from `cursor` through feed() and finish().
+  SimResult run(TraceCursor& cursor);
 
  private:
   struct RegState;
@@ -75,7 +85,7 @@ class Pipeline {
   void train_cp_window(SeqNum upto_seq);
 
   const MachineConfig cfg_;
-  const Trace& trace_;
+  const Program& program_;
   SteeringPolicy policy_;
 
   WidthPredictor wpred_;
@@ -109,6 +119,8 @@ class Pipeline {
   unsigned block_split_remaining_ = 0;
 
   Tick fetch_barrier_ = 0;     // redirect/flush refill point
+  Tick last_fetch_ = 0;
+  Tick last_dispatch_ = 0;
   Tick last_commit_ = 0;
   /// In-order dispatch backpressure: when a µop (or one of its copies)
   /// stalls on a full issue queue, younger µops cannot dispatch earlier.
@@ -120,5 +132,8 @@ class Pipeline {
 
 /// Convenience wrapper: build a pipeline and run the trace.
 SimResult simulate(const MachineConfig& cfg, const Trace& trace);
+
+/// Streaming form: records are pulled chunk-wise from the cursor.
+SimResult simulate(const MachineConfig& cfg, TraceCursor& cursor);
 
 }  // namespace hcsim

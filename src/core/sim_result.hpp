@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "core/counters.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
 
@@ -58,7 +59,9 @@ struct SimResult {
   double ul1_hit_rate = 0.0;
 
   // --- misc event counts (power model input) --------------------------------
-  CounterBag counters;
+  // Enum-indexed on the hot path; string lookups and the CounterBag bridge
+  // (counters.to_bag()) remain available for reporting consumers.
+  CounterArray counters;
 
   // --- derived -----------------------------------------------------------
   double helper_frac() const {

@@ -107,15 +107,16 @@ SweepResult run_sweep(const SweepSpec& spec, const RunOptions& opts) {
   }
 
   // Phase 1: generate traces and simulate the baseline machine, one job per
-  // cell. cached_trace() is internally synchronized, so concurrent cells may
-  // also warm the process-wide trace cache.
+  // cell. Below the stream threshold simulate_workload() warms the process-
+  // wide trace cache (internally synchronized, so concurrent cells are
+  // fine); above it every simulation streams records straight from the
+  // generator and nothing is materialized.
   {
     std::vector<std::function<void()>> jobs;
     jobs.reserve(cells.size());
     for (BaselineCell& cell : cells)
       jobs.push_back([&cell, &spec] {
-        const Trace& trace = cached_trace(*cell.profile, cell.n_records);
-        cell.sim = simulate(spec.baseline, trace);
+        cell.sim = simulate_workload(spec.baseline, *cell.profile, cell.n_records);
         cell.power = analyze_power(cell.sim, spec.baseline);
       });
     run_jobs(jobs, threads);
@@ -140,8 +141,7 @@ SweepResult run_sweep(const SweepSpec& spec, const RunOptions& opts) {
         pr.point = p;
         pr.baseline = cell.sim;
         pr.power_baseline = cell.power;
-        const Trace& trace = cached_trace(p.profile, p.n_records);
-        pr.sim = simulate(p.variant.machine, trace);
+        pr.sim = simulate_workload(p.variant.machine, p.profile, p.n_records);
         pr.power_sim = analyze_power(pr.sim, p.variant.machine);
         result.points[p.index] = std::move(pr);
         if (opts.on_point) {

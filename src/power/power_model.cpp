@@ -5,38 +5,36 @@ namespace hcsim {
 PowerReport analyze_power(const SimResult& r, const MachineConfig& cfg,
                           const EnergyParams& p) {
   PowerReport rep;
-  const auto cnt = [&](const char* name) {
-    return static_cast<double>(r.counters.get(name));
-  };
+  const auto cnt = [&](Counter c) { return static_cast<double>(r.counters.get(c)); };
   const double helper_scale = p.helper_width_ratio + p.helper_fixed_overhead;
 
   // Frontend: every fetched µop flows through fetch/rename/ROB; copies and
   // chunks consume rename bandwidth too.
   const double uops = static_cast<double>(r.uops);
   rep.frontend = uops * (p.fetch + p.rename + p.rob) +
-                 (cnt("copy_rename_slots") + cnt("chunk_rename_slots")) * p.rename;
+                 (cnt(Counter::kCopyRenameSlots) + cnt(Counter::kChunkRenameSlots)) * p.rename;
 
   // Wide backend: integer + FP issue, RF and ALU activity.
-  const double wide_issues = cnt("issue_wide");
-  const double fp_issues = cnt("issue_fp");
+  const double wide_issues = cnt(Counter::kIssueWide);
+  const double fp_issues = cnt(Counter::kIssueFp);
   rep.wide_backend = wide_issues * (p.iq_wide + p.alu_wide + 2.0 * p.rf_wide) +
                      fp_issues * (p.iq_wide + p.fp_unit + 2.0 * p.rf_wide) +
-                     cnt("rf_write_wide") * p.rf_wide;
+                     cnt(Counter::kRfWriteWide) * p.rf_wide;
 
   // Helper backend: same structures scaled by datapath width.
-  const double helper_issues = cnt("issue_helper");
+  const double helper_issues = cnt(Counter::kIssueHelper);
   rep.helper_backend =
       helper_issues * (p.iq_wide + p.alu_wide + 2.0 * p.rf_wide) * helper_scale +
-      cnt("rf_write_helper") * p.rf_wide * helper_scale;
+      cnt(Counter::kRfWriteHelper) * p.rf_wide * helper_scale;
 
   // Memory hierarchy.
-  rep.memory = cnt("dl0_accesses") * p.dl0 + cnt("ul1_accesses") * p.ul1;
+  rep.memory = cnt(Counter::kDl0Accesses) * p.dl0 + cnt(Counter::kUl1Accesses) * p.ul1;
 
   // Inter-cluster traffic.
   rep.copies = static_cast<double>(r.copies) * p.copy;
 
   // Predictors (width predictor lookups + branch predictor, folded).
-  rep.predictors = cnt("wpred_lookups") * p.wpred +
+  rep.predictors = cnt(Counter::kWpredLookups) * p.wpred +
                    static_cast<double>(r.branches) * p.wpred;
 
   // Clock networks: the wide domain always runs; the helper domain adds its

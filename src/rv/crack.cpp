@@ -192,18 +192,21 @@ CrackedProgram crack_program(const RvProgram& prog) {
   return out;
 }
 
-Trace trace_from_program(const RvProgram& prog, u64 max_uops, RvTraceInfo* info,
-                         const ExecLimits& limits) {
-  const CrackedProgram cracked = crack_program(prog);
-  Trace trace;
-  trace.program = cracked.program;
-  trace.seed = 1;  // RV traces are seedless: the program fully determines them
+RvTraceInfo stream_from_program(const RvProgram& prog, const CrackedProgram& cracked,
+                                u64 max_uops,
+                                const std::function<void(const TraceRecord&)>& sink,
+                                const ExecLimits& limits) {
+  u64 emitted = 0;
+  auto push_rec = [&](const TraceRecord& r) {
+    ++emitted;
+    sink(r);
+  };
 
   auto emit = [&](const RvStep& step) -> bool {
     const u32 idx = step.pc / 4;
     const u32 base = cracked.first_uop[idx];
     const u32 n_uops = cracked.first_uop[idx + 1] - base;
-    if (trace.records.size() + n_uops > max_uops) return false;  // budget cut
+    if (emitted + n_uops > max_uops) return false;  // budget cut
 
     const RvInst& in = step.inst;
     const u32 a = step.rs1_val, b = step.rs2_val;
@@ -220,7 +223,7 @@ Trace trace_from_program(const RvProgram& prog, u64 max_uops, RvTraceInfo* info,
       case RvOp::kAuipc: {
         TraceRecord r = rec_at(0);
         r.result = step.result;  // 0 for the rd==0 nop crack
-        trace.records.push_back(r);
+        push_rec(r);
         break;
       }
       case RvOp::kJal:
@@ -229,12 +232,12 @@ Trace trace_from_program(const RvProgram& prog, u64 max_uops, RvTraceInfo* info,
         if (in.rd != 0) {
           TraceRecord link = rec_at(off++);
           link.result = step.pc + 4;
-          trace.records.push_back(link);
+          push_rec(link);
         }
         TraceRecord jmp = rec_at(off);
         if (in.op == RvOp::kJalr) jmp.src_vals[0] = a;
         jmp.taken = true;
-        trace.records.push_back(jmp);
+        push_rec(jmp);
         break;
       }
       case RvOp::kBeq:
@@ -247,11 +250,11 @@ Trace trace_from_program(const RvProgram& prog, u64 max_uops, RvTraceInfo* info,
         TraceRecord cmp = rec_at(0);
         cmp.src_vals = {a, b, 0};
         cmp.flags_val = flags;
-        trace.records.push_back(cmp);
+        push_rec(cmp);
         TraceRecord br = rec_at(1);
         br.src_vals[0] = flags;
         br.taken = step.taken;
-        trace.records.push_back(br);
+        push_rec(br);
         break;
       }
       case RvOp::kLb:
@@ -263,7 +266,7 @@ Trace trace_from_program(const RvProgram& prog, u64 max_uops, RvTraceInfo* info,
         r.src_vals[0] = a;
         r.mem_addr = step.mem_addr;
         r.result = step.result;
-        trace.records.push_back(r);
+        push_rec(r);
         break;
       }
       case RvOp::kSb:
@@ -272,7 +275,7 @@ Trace trace_from_program(const RvProgram& prog, u64 max_uops, RvTraceInfo* info,
         TraceRecord r = rec_at(0);
         r.src_vals = {a, 0, b};
         r.mem_addr = step.mem_addr;
-        trace.records.push_back(r);
+        push_rec(r);
         break;
       }
       case RvOp::kSlti:
@@ -280,7 +283,7 @@ Trace trace_from_program(const RvProgram& prog, u64 max_uops, RvTraceInfo* info,
       case RvOp::kSlt:
       case RvOp::kSltu: {
         if (in.rd == 0) {
-          trace.records.push_back(rec_at(0));
+          push_rec(rec_at(0));
           break;
         }
         const u32 rhs = has_imm_form(in.op) ? imm : b;
@@ -289,12 +292,12 @@ Trace trace_from_program(const RvProgram& prog, u64 max_uops, RvTraceInfo* info,
         sub.src_vals = {a, has_imm_form(in.op) ? 0 : b, 0};
         sub.result = diff;
         sub.flags_val = diff;
-        trace.records.push_back(sub);
+        push_rec(sub);
         TraceRecord shr = rec_at(1);
         shr.src_vals[0] = diff;
         shr.result = step.result;  // architecturally exact 0/1
         shr.flags_val = step.result;
-        trace.records.push_back(shr);
+        push_rec(shr);
         break;
       }
       case RvOp::kAddi:
@@ -314,20 +317,20 @@ Trace trace_from_program(const RvProgram& prog, u64 max_uops, RvTraceInfo* info,
       case RvOp::kAnd: {
         TraceRecord r = rec_at(0);
         if (in.rd == 0) {  // cracked to kNop
-          trace.records.push_back(r);
+          push_rec(r);
           break;
         }
         r.src_vals[0] = a;
         if (!has_imm_form(in.op)) r.src_vals[1] = b;
         r.result = step.result;
         r.flags_val = step.result;  // ALU µops write flags = result
-        trace.records.push_back(r);
+        push_rec(r);
         break;
       }
       case RvOp::kFence:
       case RvOp::kEcall:
       case RvOp::kEbreak:
-        trace.records.push_back(rec_at(0));
+        push_rec(rec_at(0));
         break;
       default:
         HCSIM_CHECK(false, "unreachable: illegal instruction executed");
@@ -336,11 +339,25 @@ Trace trace_from_program(const RvProgram& prog, u64 max_uops, RvTraceInfo* info,
   };
 
   const RvExecResult res = execute(prog, limits, emit);
+  RvTraceInfo out;
+  out.instret = res.steps;
+  out.completed = res.completed;
+  out.error = res.error;
+  return out;
+}
+
+Trace trace_from_program(const RvProgram& prog, u64 max_uops, RvTraceInfo* info,
+                         const ExecLimits& limits) {
+  const CrackedProgram cracked = crack_program(prog);
+  Trace trace;
+  trace.program = cracked.program;
+  trace.seed = 1;  // RV traces are seedless: the program fully determines them
+  const RvTraceInfo res = stream_from_program(
+      prog, cracked, max_uops, [&](const TraceRecord& r) { trace.records.push_back(r); },
+      limits);
   if (info) {
     // The caller owns trap handling (hcrv turns it into a CLI diagnostic).
-    info->instret = res.steps;
-    info->completed = res.completed;
-    info->error = res.error;
+    *info = res;
   } else {
     HCSIM_CHECK(res.error.empty(), "rv executor trapped: " + res.error);
   }

@@ -53,4 +53,13 @@ struct RvTraceInfo {
 Trace trace_from_program(const RvProgram& prog, u64 max_uops,
                          RvTraceInfo* info = nullptr, const ExecLimits& limits = {});
 
+/// Streaming form: push every dynamic µop record to `sink` instead of
+/// materializing a vector — the record stream is bit-identical to
+/// trace_from_program's (it is the same interpreter). `cracked` must be
+/// crack_program(prog).
+RvTraceInfo stream_from_program(const RvProgram& prog, const CrackedProgram& cracked,
+                                u64 max_uops,
+                                const std::function<void(const TraceRecord&)>& sink,
+                                const ExecLimits& limits = {});
+
 }  // namespace hcsim::rv

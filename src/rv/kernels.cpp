@@ -44,15 +44,34 @@ std::vector<WorkloadProfile> rv_workload_profiles() {
 }
 
 Trace kernel_trace(const std::string& name, u64 max_uops) {
+  // Built on the streaming primitive, so the materialized vector and a
+  // KernelStream pump are bit-identical by construction.
+  const KernelStream stream = open_kernel_stream(name);
+  Trace trace;
+  trace.program = stream.cracked.program;
+  trace.seed = 1;  // RV traces are seedless: the program fully determines them
+  stream.pump(max_uops, [&](const TraceRecord& r) { trace.records.push_back(r); });
+  HCSIM_CHECK(!trace.records.empty(), "kernel produced an empty trace: " + name);
+  return trace;
+}
+
+RvTraceInfo KernelStream::pump(u64 max_uops,
+                               const std::function<void(const TraceRecord&)>& sink) const {
+  RvTraceInfo info = stream_from_program(binary, cracked, max_uops, sink);
+  HCSIM_CHECK(info.error.empty(),
+              "bundled kernel trapped: " + cracked.program.name + ": " + info.error);
+  return info;
+}
+
+KernelStream open_kernel_stream(const std::string& name) {
   const RvKernel* k = find_kernel(name);
   HCSIM_CHECK(k != nullptr, "unknown rv kernel: " + name);
   AsmResult as = assemble(k->name, k->source);
   HCSIM_CHECK(as.ok(), "bundled kernel failed to assemble: " + as.error);
-  RvTraceInfo info;
-  Trace trace = trace_from_program(as.program, max_uops, &info);
-  HCSIM_CHECK(info.error.empty(), "bundled kernel trapped: " + name + ": " + info.error);
-  HCSIM_CHECK(!trace.records.empty(), "kernel produced an empty trace: " + name);
-  return trace;
+  KernelStream stream;
+  stream.binary = std::move(as.program);
+  stream.cracked = crack_program(stream.binary);
+  return stream;
 }
 
 }  // namespace hcsim::rv

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "rv/crack.hpp"
 #include "trace/trace.hpp"
 #include "wload/profile.hpp"
 
@@ -39,5 +40,22 @@ std::vector<WorkloadProfile> rv_workload_profiles();
 /// `max_uops` dynamic µops. Deterministic; aborts on unknown kernel or
 /// assembly/execution failure (bundled kernels must be valid).
 Trace kernel_trace(const std::string& name, u64 max_uops);
+
+/// Streaming form of kernel_trace: the assembled binary plus its cracked
+/// static program, ready to pump the dynamic record stream into a consumer
+/// (e.g. Pipeline::feed) without materializing it. The stream is
+/// bit-identical to kernel_trace's record vector.
+struct KernelStream {
+  RvProgram binary;
+  CrackedProgram cracked;
+
+  /// Execute the kernel, pushing every dynamic µop record to `sink`,
+  /// bounded by `max_uops`. Aborts if the kernel traps.
+  RvTraceInfo pump(u64 max_uops,
+                   const std::function<void(const TraceRecord&)>& sink) const;
+};
+
+/// Assemble + crack a bundled kernel (no dynamic execution yet).
+KernelStream open_kernel_stream(const std::string& name);
 
 }  // namespace hcsim::rv

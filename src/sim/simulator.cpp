@@ -4,13 +4,45 @@
 #include <mutex>
 #include <sstream>
 
+#include "rv/kernels.hpp"
 #include "util/log.hpp"
+#include "wload/program_gen.hpp"
 
 namespace hcsim {
 
 u64 default_trace_len() {
   static const u64 kLen = env_u64("HCSIM_TRACE_LEN", 300000);
   return kLen;
+}
+
+u64 stream_threshold() {
+  // 2M records ≈ 64MB of trace — the most the process-wide cache should pin
+  // per (workload, length) cell.
+  static const u64 kThreshold = env_u64("HCSIM_STREAM_THRESHOLD", 2000000);
+  return kThreshold;
+}
+
+SimResult simulate_streamed(const MachineConfig& cfg, const WorkloadProfile& profile,
+                            u64 n_records) {
+  if (n_records == 0) n_records = default_trace_len();
+  if (!profile.rv_kernel.empty()) {
+    // RV kernels stream push-side: the functional executor drives a sink
+    // that cracks each instruction and feeds the pipeline directly.
+    const rv::KernelStream stream = rv::open_kernel_stream(profile.rv_kernel);
+    Pipeline p(cfg, stream.cracked.program);
+    stream.pump(n_records, [&](const TraceRecord& rec) { p.feed(rec); });
+    return p.finish();
+  }
+  ProgramTraceCursor cursor(generate_program(profile), profile, n_records);
+  return simulate(cfg, cursor);
+}
+
+SimResult simulate_workload(const MachineConfig& cfg, const WorkloadProfile& profile,
+                            u64 n_records) {
+  if (n_records == 0) n_records = default_trace_len();
+  if (n_records <= stream_threshold())
+    return simulate(cfg, cached_trace(profile, n_records));
+  return simulate_streamed(cfg, profile, n_records);
 }
 
 const Trace& cached_trace(const WorkloadProfile& profile, u64 n_records) {
@@ -39,24 +71,22 @@ const Trace& cached_trace(const WorkloadProfile& profile, u64 n_records) {
 AppRun run_app(const WorkloadProfile& profile, const SteeringConfig& steer,
                u64 n_records) {
   if (n_records == 0) n_records = default_trace_len();
-  const Trace& trace = cached_trace(profile, n_records);
   AppRun run;
   run.app = profile.name;
-  run.baseline = simulate(monolithic_baseline(), trace);
-  run.helper = simulate(helper_machine(steer), trace);
+  run.baseline = simulate_workload(monolithic_baseline(), profile, n_records);
+  run.helper = simulate_workload(helper_machine(steer), profile, n_records);
   return run;
 }
 
 MultiRun run_app_configs(const WorkloadProfile& profile,
                          std::span<const SteeringConfig> configs, u64 n_records) {
   if (n_records == 0) n_records = default_trace_len();
-  const Trace& trace = cached_trace(profile, n_records);
   MultiRun run;
   run.app = profile.name;
-  run.baseline = simulate(monolithic_baseline(), trace);
+  run.baseline = simulate_workload(monolithic_baseline(), profile, n_records);
   run.configs.reserve(configs.size());
   for (const SteeringConfig& sc : configs)
-    run.configs.push_back(simulate(helper_machine(sc), trace));
+    run.configs.push_back(simulate_workload(helper_machine(sc), profile, n_records));
   return run;
 }
 

@@ -22,8 +22,27 @@ namespace hcsim {
 u64 default_trace_len();
 
 /// Process-wide deterministic trace cache (keyed by profile name, seed and
-/// length). Returned reference is valid for the process lifetime.
+/// length). Returned reference is valid for the process lifetime. Only
+/// CI-sized traces belong here — simulate_workload() stops materializing
+/// (and caching) above stream_threshold().
 const Trace& cached_trace(const WorkloadProfile& profile, u64 n_records);
+
+/// Trace length above which simulate_workload() streams records chunk-wise
+/// from the generator instead of materializing + caching the whole trace
+/// (a paper-scale 100M-µop window is ~3GB of records). Overridable via the
+/// HCSIM_STREAM_THRESHOLD environment variable.
+u64 stream_threshold();
+
+/// Always-streaming simulation: records flow from the workload generator
+/// (or the RV kernel cracker) straight into the pipeline, O(chunk) memory.
+/// Bit-identical to simulate(cfg, cached_trace(profile, n_records)).
+SimResult simulate_streamed(const MachineConfig& cfg, const WorkloadProfile& profile,
+                            u64 n_records);
+
+/// Simulate one workload: cached in-memory trace for runs at or below
+/// stream_threshold() (shared across experiments), streaming above it.
+SimResult simulate_workload(const MachineConfig& cfg, const WorkloadProfile& profile,
+                            u64 n_records = 0);
 
 /// One application simulated on the monolithic baseline and on a helper
 /// cluster configuration.

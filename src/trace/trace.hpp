@@ -7,6 +7,7 @@
 // observe real data widths rather than sampled statistics.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,40 @@ struct Trace {
     return program.uops[r.pc];
   }
   std::size_t size() const { return records.size(); }
+};
+
+/// Streaming view of a dynamic µop stream: the pipeline pulls records
+/// chunk-wise, so long runs (the paper's 100M-instruction windows) never
+/// materialize a multi-GB std::vector<TraceRecord>. Records arrive in
+/// program order; an empty chunk ends the stream.
+class TraceCursor {
+ public:
+  virtual ~TraceCursor() = default;
+
+  /// The static program the records refer to. Stable for the cursor's
+  /// lifetime (the pipeline holds a reference across the whole run).
+  virtual const Program& program() const = 0;
+
+  /// Next chunk of records, valid until the next call. Empty = end.
+  virtual std::span<const TraceRecord> next_chunk() = 0;
+};
+
+/// Cursor over a materialized trace: one chunk, zero copies.
+class TraceVectorCursor final : public TraceCursor {
+ public:
+  explicit TraceVectorCursor(const Trace& trace) : trace_(trace) {}
+
+  const Program& program() const override { return trace_.program; }
+
+  std::span<const TraceRecord> next_chunk() override {
+    if (done_) return {};
+    done_ = true;
+    return trace_.records;
+  }
+
+ private:
+  const Trace& trace_;
+  bool done_ = false;
 };
 
 /// Binary trace serialization (versioned, little-endian). Returns false on

@@ -2,41 +2,159 @@
 
 namespace hcsim {
 
+// --- SlotSchedule -----------------------------------------------------------
+
+void SlotSchedule::gc_to(u64 new_base) {
+  if (new_base <= base_) return;
+  if (new_base - base_ >= kWindowCycles) {
+    std::fill(used_.begin(), used_.end(), u8{0});
+    std::fill(full_.begin(), full_.end(), u64{0});
+  } else {
+    for (u64 c = base_; c < new_base; ++c) {
+      used_[c & kMask] = 0;
+      full_[(c & kMask) >> 6] &= ~(u64{1} << (c & 63));
+    }
+  }
+  base_ = new_base;
+}
+
+u64 SlotSchedule::first_nonfull(u64 cycle) const {
+  // kWindowCycles is a multiple of 64, so consecutive cycles within one
+  // bitmap word are consecutive ring positions: scan a word at a time.
+  const u64 end = frontier_ + 1;
+  u64 c = cycle;
+  while (c < end) {
+    const u64 pos = c & kMask;
+    const u64 free_bits = ~full_[pos >> 6] >> (pos & 63);
+    if (free_bits != 0) {
+      const u64 cand = c + static_cast<u64>(std::countr_zero(free_bits));
+      return cand < end ? cand : end;
+    }
+    c += 64 - (pos & 63);
+  }
+  return end;
+}
+
 Tick SlotSchedule::reserve(Tick earliest) {
   u64 cycle = earliest / cycle_ticks_;
-  if (cycle < min_cycle_) cycle = min_cycle_;
-  for (;;) {
-    auto it = use_.find(CycleUse{cycle, 0});
-    if (it == use_.end()) {
-      use_.insert(CycleUse{cycle, 1});
-      break;
-    }
-    if (it->used < width_) {
-      CycleUse updated = *it;
-      ++updated.used;
-      use_.erase(it);
-      use_.insert(updated);
-      break;
-    }
-    ++cycle;
-  }
+  if (cycle < base_) cycle = base_;
+  if (cycle <= frontier_) cycle = first_nonfull(cycle);
+  if (cycle >= base_ + kWindowCycles) gc_to(cycle - kWindowCycles + 1);
+  u8& used = used_[cycle & kMask];
+  ++used;
+  if (used == width_) full_[(cycle & kMask) >> 6] |= u64{1} << (cycle & 63);
+  if (cycle > frontier_) frontier_ = cycle;
   ++reservations_;
-  // Garbage-collect reservations far in the past to bound memory; the
-  // pipeline never looks back more than a ROB lifetime.
-  if (use_.size() > 65536) {
-    const u64 horizon = use_.rbegin()->cycle;
-    const u64 cutoff = horizon > 32768 ? horizon - 32768 : 0;
-    while (!use_.empty() && use_.begin()->cycle < cutoff) use_.erase(use_.begin());
-    min_cycle_ = cutoff;
-  }
   return cycle * cycle_ticks_;
 }
 
 bool SlotSchedule::has_free_slot(Tick tick) const {
   const u64 cycle = tick / cycle_ticks_;
-  if (cycle < min_cycle_) return false;
-  auto it = use_.find(CycleUse{cycle, 0});
-  return it == use_.end() || it->used < width_;
+  if (cycle < base_) return false;
+  if (cycle > frontier_) return true;
+  return slot(cycle) < width_;
+}
+
+SlotSchedule::RangeProbe SlotSchedule::free_slot_in(Tick from, Tick until) const {
+  RangeProbe p;
+  if (until <= from) return p;
+  u64 c0 = from / cycle_ticks_;
+  const u64 c1 = (until - 1) / cycle_ticks_;  // last cycle overlapping the range
+  if (c0 < base_) {
+    p.truncated = true;
+    c0 = base_;
+    if (c0 > c1) return p;
+  }
+  if (c1 > frontier_) {
+    p.free = true;  // cycles past the frontier are empty
+    return p;
+  }
+  p.free = first_nonfull(c0) <= c1;
+  return p;
+}
+
+// --- QueueTracker -----------------------------------------------------------
+
+Tick QueueTracker::next_occupied(Tick from) const {
+  // The window is a multiple of 64 ticks, so positions within one bitmap
+  // word are consecutive ticks: skip empty regions a word at a time.
+  u64 c = from;
+  while (c < tail_) {
+    const u64 pos = c & mask_;
+    const u64 bits = occ_[pos >> 6] >> (pos & 63);
+    if (bits != 0) {
+      const u64 cand = c + static_cast<u64>(std::countr_zero(bits));
+      return cand < tail_ ? cand : tail_;
+    }
+    c += 64 - (pos & 63);
+  }
+  return tail_;
+}
+
+void QueueTracker::drain(Tick t) {
+  const Tick target = t + 1;  // entries with issue <= t leave the queue
+  if (target <= head_) return;
+  Tick c = head_;
+  while (live_ > 0) {
+    c = next_occupied(c);
+    if (c >= target) break;
+    const u64 pos = c & mask_;
+    live_ -= ring_[pos];
+    ring_[pos] = 0;
+    occ_[pos >> 6] &= ~(u64{1} << (pos & 63));
+    ++c;
+  }
+  head_ = target;
+}
+
+void QueueTracker::grow(Tick issue) {
+  u64 cap = mask_ + 1;
+  while (issue - head_ >= cap) cap *= 2;
+  std::vector<u32> bigger(cap, 0);
+  std::vector<u64> bits(cap / 64, 0);
+  const u64 new_mask = cap - 1;
+  for (Tick t = head_; t < tail_; ++t) {
+    const u32 n = ring_[t & mask_];
+    if (n) {
+      bigger[t & new_mask] = n;
+      bits[(t & new_mask) >> 6] |= u64{1} << (t & 63);
+    }
+  }
+  ring_ = std::move(bigger);
+  occ_ = std::move(bits);
+  mask_ = new_mask;
+}
+
+void QueueTracker::add(Tick issue) {
+  // An issue tick at or below the drain head already "left" the queue: by
+  // the time any later query observes the tracker, its drain would have
+  // retired this entry anyway.
+  if (issue < head_) return;
+  if (issue - head_ > mask_) grow(issue);
+  const u64 pos = issue & mask_;
+  if (ring_[pos]++ == 0) occ_[pos >> 6] |= u64{1} << (pos & 63);
+  ++live_;
+  if (issue >= tail_) tail_ = issue + 1;
+}
+
+Tick QueueTracker::earliest_dispatch(Tick tick) {
+  drain(tick);
+  if (live_ < size_) return tick;
+  // Full: the dispatch must wait until enough occupants have issued that an
+  // entry frees up. Walk the occupied buckets in issue order; `need` counts
+  // the departures required before occupancy drops below the queue size.
+  // Stateless on purpose: a pure query must return the same answer when
+  // repeated (live_ >= size_ >= 1 guarantees the walk terminates).
+  u64 need = live_ - size_ + 1;
+  Tick c = head_;
+  for (;;) {
+    c = next_occupied(c);
+    HCSIM_CHECK(c < tail_, "QueueTracker: live entries unaccounted for");
+    const u64 n = ring_[c & mask_];
+    if (n >= need) return c;
+    need -= n;
+    ++c;
+  }
 }
 
 }  // namespace hcsim

@@ -4,9 +4,16 @@
 // these helpers track how many issue slots each cluster-cycle has consumed
 // and which issue-queue entries are still occupied, so resource contention
 // is modeled without a tick-by-tick wakeup/select loop.
+//
+// Both structures are garbage-collected ring buffers: the per-µop hot path
+// (core/pipeline.cpp) calls reserve()/earliest_dispatch()/has_free_slot()
+// for every dynamic µop, so all operations are allocation-free and O(1)
+// amortized. The previous std::set/std::multiset ledgers paid a node
+// allocation plus a tree rebalance per µop.
 #pragma once
 
-#include <set>
+#include <bit>
+#include <vector>
 
 #include "util/log.hpp"
 #include "util/types.hpp"
@@ -15,10 +22,24 @@ namespace hcsim {
 
 /// Issue-slot ledger: at most `width` µops may issue per cluster cycle.
 /// Cycles are cluster-local (tick / cycle_ticks).
+///
+/// Storage is a ring of per-cycle occupancy counts over a sliding window of
+/// kWindowCycles cycles ending at the highest cycle ever reserved (the
+/// frontier). Cycles above the frontier are implicitly empty; cycles that
+/// slid out of the window are garbage-collected and report "no free slot",
+/// exactly like the old ledger's GC horizon. A parallel full-cycle bitmap
+/// lets reserve() and range probes skip saturated regions 64 cycles at a
+/// time.
 class SlotSchedule {
  public:
   SlotSchedule(unsigned width, Tick cycle_ticks)
-      : width_(width), cycle_ticks_(cycle_ticks) {}
+      : width_(width),
+        cycle_ticks_(cycle_ticks),
+        used_(kWindowCycles, 0),
+        full_(kWindowCycles / 64, 0) {
+    HCSIM_CHECK(width_ > 0 && width_ < 256, "SlotSchedule width out of range");
+    HCSIM_CHECK(cycle_ticks_ > 0, "SlotSchedule cycle_ticks must be positive");
+  }
 
   /// Reserve the first free slot at a cycle whose start is >= `earliest`
   /// tick. Returns the tick at which the µop issues (start of that cycle).
@@ -27,62 +48,97 @@ class SlotSchedule {
   /// True if cycle containing `tick` still has a free slot (no reservation).
   bool has_free_slot(Tick tick) const;
 
+  /// Range probe for the NREADY imbalance metric: does any cycle overlapping
+  /// the tick interval [from, until) have a free slot? `truncated` reports
+  /// that part of the interval predates the GC horizon and was not probed.
+  struct RangeProbe {
+    bool free = false;
+    bool truncated = false;
+  };
+  RangeProbe free_slot_in(Tick from, Tick until) const;
+
   Tick cycle_ticks() const { return cycle_ticks_; }
   u64 reservations() const { return reservations_; }
+  /// Oldest cycle still tracked (cycles below were garbage-collected).
+  u64 gc_horizon_cycle() const { return base_; }
 
  private:
-  struct CycleUse {
-    u64 cycle;
-    unsigned used;
-    bool operator<(const CycleUse& o) const { return cycle < o.cycle; }
-  };
+  /// Sliding-window length in cycles. Must be a power of two and a multiple
+  /// of 64; 64k cycles is far beyond any lookback the pipeline performs
+  /// (reservations trail the frontier by at most a ROB lifetime).
+  static constexpr u64 kWindowCycles = u64{1} << 16;
+  static constexpr u64 kMask = kWindowCycles - 1;
+
+  unsigned slot(u64 cycle) const { return used_[cycle & kMask]; }
+  void gc_to(u64 new_base);
+  /// First cycle >= `cycle` with a free slot; `frontier_ + 1` if every
+  /// tracked cycle through the frontier is saturated. Requires
+  /// base_ <= cycle <= frontier_.
+  u64 first_nonfull(u64 cycle) const;
 
   unsigned width_;
   Tick cycle_ticks_;
-  std::set<CycleUse> use_;  // sparse map cycle -> used slots
+  std::vector<u8> used_;   // per-cycle reservation counts (ring)
+  std::vector<u64> full_;  // bitmap: cycle saturated (used == width)
+  u64 base_ = 0;           // GC horizon: lowest cycle still tracked
+  u64 frontier_ = 0;       // highest cycle ever reserved
   u64 reservations_ = 0;
-  u64 min_cycle_ = 0;  // cycles below this are fully garbage-collected
 };
 
 /// Issue-queue occupancy tracker: entries are held from dispatch until
 /// issue. `earliest_dispatch` computes when a new µop can enter given the
-/// queue size, and `occupancy_at` supports the IR imbalance trigger.
+/// queue size, and `occupancy` supports the IR imbalance trigger.
+///
+/// Occupancy mutates only through add() and the lazy drain of entries whose
+/// issue tick has passed — earliest_dispatch() is a pure query. (The old
+/// multiset version erased the earliest occupant inside earliest_dispatch,
+/// so a caller that probed without dispatching — e.g. the flush/re-steer
+/// path running exec_in twice — silently freed a queue slot.)
 class QueueTracker {
  public:
-  explicit QueueTracker(unsigned size) : size_(size) {}
-
-  /// Given that the µop wants to dispatch at `tick`, return the earliest
-  /// tick >= `tick` when the queue has a free entry, and record the entry as
-  /// occupied until `issue_tick` (filled in later via `set_issue`).
-  Tick earliest_dispatch(Tick tick) {
-    gc(tick);
-    if (in_queue_.size() < size_) return tick;
-    // Wait for the earliest-issuing current occupant to leave.
-    auto it = in_queue_.begin();
-    const Tick freed = *it;
-    in_queue_.erase(it);
-    return freed > tick ? freed : tick;
+  explicit QueueTracker(unsigned size)
+      : size_(size),
+        ring_(kInitialTicks, 0),
+        occ_(kInitialTicks / 64, 0),
+        mask_(kInitialTicks - 1) {
+    HCSIM_CHECK(size_ > 0, "QueueTracker size must be positive");
   }
 
-  /// Record a dispatched µop that will issue (leave the queue) at `issue`.
-  void add(Tick issue) { in_queue_.insert(issue); }
+  /// Given that the µop wants to dispatch at `tick`, return the earliest
+  /// tick >= `tick` when the queue has a free entry. Pure query: the entry
+  /// is recorded only by the subsequent add().
+  Tick earliest_dispatch(Tick tick);
 
-  /// Occupancy as seen at tick `t` (after lazy cleanup).
+  /// Record a dispatched µop that will issue (leave the queue) at `issue`.
+  void add(Tick issue);
+
+  /// Occupancy as seen at tick `t` (after the lazy drain).
   unsigned occupancy(Tick t) {
-    gc(t);
-    return static_cast<unsigned>(in_queue_.size());
+    drain(t);
+    return static_cast<unsigned>(live_);
   }
 
   unsigned size() const { return size_; }
 
  private:
-  void gc(Tick t) {
-    while (!in_queue_.empty() && *in_queue_.begin() <= t)
-      in_queue_.erase(in_queue_.begin());
-  }
+  /// Initial ring span in ticks; must be a power of two and a multiple of
+  /// 64 (the occupancy bitmap relies on word-contiguous positions). Grows
+  /// by doubling when an issue tick lands beyond the window.
+  static constexpr u64 kInitialTicks = u64{1} << 16;
+  static_assert(kInitialTicks % 64 == 0);
+
+  void drain(Tick t);   // retire entries with issue <= t
+  void grow(Tick issue);
+  /// First tick >= `from` whose bucket is occupied; `tail_` if none.
+  Tick next_occupied(Tick from) const;
 
   unsigned size_;
-  std::multiset<Tick> in_queue_;  // issue ticks of queued µops
+  std::vector<u32> ring_;  // per-tick count of entries issuing at that tick
+  std::vector<u64> occ_;   // bitmap: bucket non-empty (skip 64 ticks at a time)
+  u64 mask_;
+  Tick head_ = 0;  // every tick < head_ has been drained
+  Tick tail_ = 0;  // one past the largest issue tick recorded
+  u64 live_ = 0;   // entries currently in the queue
 };
 
 }  // namespace hcsim

@@ -75,6 +75,109 @@ void SyntheticMemory::store(u32 addr, u32 value, bool byte) {
   written_[word_addr] = word;
 }
 
+namespace {
+
+/// Architectural register reset: FP registers start with arbitrary wide bit
+/// patterns, everything else with zero.
+std::array<u32, kNumRegs> initial_regs() {
+  std::array<u32, kNumRegs> regs{};
+  for (unsigned i = 0; i < kNumFpRegs; ++i)
+    regs[kRegF0 + i] = mix32(0xF00Du + i) | 0x3F800000u;
+  return regs;
+}
+
+/// Interpret the µop at `pc`, updating `regs`/`mem`/`pc` (with program
+/// restart), and return its dynamic record. Shared by the materializing
+/// executor and the streaming cursor so both emit bit-identical streams.
+TraceRecord step_uop(const Program& program, std::array<u32, kNumRegs>& regs,
+                     SyntheticMemory& mem, u32& pc) {
+  const u32 n_static = static_cast<u32>(program.uops.size());
+  const StaticUop& u = program.uops[pc];
+  TraceRecord r;
+  r.pc = pc;
+  for (unsigned i = 0; i < kMaxSrcs; ++i)
+    r.src_vals[i] = (u.srcs[i] != kRegNone) ? regs[u.srcs[i]] : 0;
+
+  const u32 a = r.src_vals[0];
+  const u32 b = u.has_imm ? u.imm : r.src_vals[1];
+  u32 result = 0;
+  u32 flags = 0;
+  bool wrote_result = false;
+  u32 next_pc = pc + 1;
+
+  switch (u.opcode) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kAdd: result = a + b; flags = result; wrote_result = true; break;
+    case Opcode::kSub: result = a - b; flags = result; wrote_result = true; break;
+    case Opcode::kAnd: result = a & b; flags = result; wrote_result = true; break;
+    case Opcode::kOr:  result = a | b; flags = result; wrote_result = true; break;
+    case Opcode::kXor: result = a ^ b; flags = result; wrote_result = true; break;
+    case Opcode::kShl: result = a << (b & 31u); flags = result; wrote_result = true; break;
+    case Opcode::kShr: result = a >> (b & 31u); flags = result; wrote_result = true; break;
+    case Opcode::kMov: result = a; wrote_result = true; break;
+    case Opcode::kMovImm: result = u.imm; wrote_result = true; break;
+    case Opcode::kCmp: flags = a - b; break;
+    case Opcode::kTest: flags = a & b; break;
+    case Opcode::kMul: result = a * b; flags = result; wrote_result = true; break;
+    case Opcode::kDiv: result = b ? a / b : a; flags = result; wrote_result = true; break;
+    case Opcode::kLea: result = a + b; wrote_result = true; break;
+    case Opcode::kLoad:
+    case Opcode::kLoadByte: {
+      const u32 idx = (u.srcs[1] != kRegNone) ? r.src_vals[1] : 0;
+      r.mem_addr = a + idx + u.imm;
+      result = mem.load(r.mem_addr, u.opcode == Opcode::kLoadByte);
+      wrote_result = true;
+      break;
+    }
+    case Opcode::kStore:
+    case Opcode::kStoreByte: {
+      const u32 idx = (u.srcs[1] != kRegNone) ? r.src_vals[1] : 0;
+      r.mem_addr = a + idx + u.imm;
+      mem.store(r.mem_addr, r.src_vals[2], u.opcode == Opcode::kStoreByte);
+      break;
+    }
+    case Opcode::kBranchCond: {
+      r.taken = eval_cond(u.imm, regs[kRegFlags]);
+      if (r.taken) next_pc = program.target_of(pc);
+      break;
+    }
+    case Opcode::kJump: {
+      r.taken = true;
+      next_pc = program.target_of(pc);
+      break;
+    }
+    case Opcode::kFpAdd:
+    case Opcode::kFpMul:
+    case Opcode::kFpDiv: {
+      // FP values are opaque wide bit patterns: the width machinery does
+      // not track FP, only the scheduling behaviour matters.
+      result = mix32(a ^ (r.src_vals[1] * 3u) ^ 0xC0FFEEu) | 0x30000000u;
+      wrote_result = true;
+      break;
+    }
+    case Opcode::kCopy:
+    case Opcode::kChunkAlu:
+    case Opcode::kCount:
+      HCSIM_CHECK(false, "pipeline-internal opcode in a static program");
+  }
+
+  if (wrote_result && u.has_dst()) {
+    regs[u.dst] = result;
+    r.result = result;
+  }
+  if (u.writes_flags()) {
+    regs[kRegFlags] = flags;
+    r.flags_val = flags;
+  }
+
+  pc = next_pc;
+  if (pc >= n_static) pc = 0;  // program restart (trace-length control)
+  return r;
+}
+
+}  // namespace
+
 Trace execute_program(const Program& program, const WorkloadProfile& profile,
                       u64 n_records) {
   HCSIM_CHECK(!program.uops.empty(), "cannot execute an empty program");
@@ -83,100 +186,34 @@ Trace execute_program(const Program& program, const WorkloadProfile& profile,
   trace.seed = profile.seed;
   trace.records.reserve(n_records);
 
-  std::array<u32, kNumRegs> regs{};
-  // FP registers start with arbitrary wide bit patterns.
-  for (unsigned i = 0; i < kNumFpRegs; ++i)
-    regs[kRegF0 + i] = mix32(0xF00Du + i) | 0x3F800000u;
-
+  std::array<u32, kNumRegs> regs = initial_regs();
   SyntheticMemory mem(profile);
   u32 pc = 0;
-  const u32 n_static = static_cast<u32>(program.uops.size());
-
-  while (trace.records.size() < n_records) {
-    const StaticUop& u = program.uops[pc];
-    TraceRecord r;
-    r.pc = pc;
-    for (unsigned i = 0; i < kMaxSrcs; ++i)
-      r.src_vals[i] = (u.srcs[i] != kRegNone) ? regs[u.srcs[i]] : 0;
-
-    const u32 a = r.src_vals[0];
-    const u32 b = u.has_imm ? u.imm : r.src_vals[1];
-    u32 result = 0;
-    u32 flags = 0;
-    bool wrote_result = false;
-    u32 next_pc = pc + 1;
-
-    switch (u.opcode) {
-      case Opcode::kNop:
-        break;
-      case Opcode::kAdd: result = a + b; flags = result; wrote_result = true; break;
-      case Opcode::kSub: result = a - b; flags = result; wrote_result = true; break;
-      case Opcode::kAnd: result = a & b; flags = result; wrote_result = true; break;
-      case Opcode::kOr:  result = a | b; flags = result; wrote_result = true; break;
-      case Opcode::kXor: result = a ^ b; flags = result; wrote_result = true; break;
-      case Opcode::kShl: result = a << (b & 31u); flags = result; wrote_result = true; break;
-      case Opcode::kShr: result = a >> (b & 31u); flags = result; wrote_result = true; break;
-      case Opcode::kMov: result = a; wrote_result = true; break;
-      case Opcode::kMovImm: result = u.imm; wrote_result = true; break;
-      case Opcode::kCmp: flags = a - b; break;
-      case Opcode::kTest: flags = a & b; break;
-      case Opcode::kMul: result = a * b; flags = result; wrote_result = true; break;
-      case Opcode::kDiv: result = b ? a / b : a; flags = result; wrote_result = true; break;
-      case Opcode::kLea: result = a + b; wrote_result = true; break;
-      case Opcode::kLoad:
-      case Opcode::kLoadByte: {
-        const u32 idx = (u.srcs[1] != kRegNone) ? r.src_vals[1] : 0;
-        r.mem_addr = a + idx + u.imm;
-        result = mem.load(r.mem_addr, u.opcode == Opcode::kLoadByte);
-        wrote_result = true;
-        break;
-      }
-      case Opcode::kStore:
-      case Opcode::kStoreByte: {
-        const u32 idx = (u.srcs[1] != kRegNone) ? r.src_vals[1] : 0;
-        r.mem_addr = a + idx + u.imm;
-        mem.store(r.mem_addr, r.src_vals[2], u.opcode == Opcode::kStoreByte);
-        break;
-      }
-      case Opcode::kBranchCond: {
-        r.taken = eval_cond(u.imm, regs[kRegFlags]);
-        if (r.taken) next_pc = program.target_of(pc);
-        break;
-      }
-      case Opcode::kJump: {
-        r.taken = true;
-        next_pc = program.target_of(pc);
-        break;
-      }
-      case Opcode::kFpAdd:
-      case Opcode::kFpMul:
-      case Opcode::kFpDiv: {
-        // FP values are opaque wide bit patterns: the width machinery does
-        // not track FP, only the scheduling behaviour matters.
-        result = mix32(a ^ (r.src_vals[1] * 3u) ^ 0xC0FFEEu) | 0x30000000u;
-        wrote_result = true;
-        break;
-      }
-      case Opcode::kCopy:
-      case Opcode::kChunkAlu:
-      case Opcode::kCount:
-        HCSIM_CHECK(false, "pipeline-internal opcode in a static program");
-    }
-
-    if (wrote_result && u.has_dst()) {
-      regs[u.dst] = result;
-      r.result = result;
-    }
-    if (u.writes_flags()) {
-      regs[kRegFlags] = flags;
-      r.flags_val = flags;
-    }
-    trace.records.push_back(r);
-
-    pc = next_pc;
-    if (pc >= n_static) pc = 0;  // program restart (trace-length control)
-  }
+  while (trace.records.size() < n_records)
+    trace.records.push_back(step_uop(program, regs, mem, pc));
   return trace;
+}
+
+ProgramTraceCursor::ProgramTraceCursor(Program program, const WorkloadProfile& profile,
+                                       u64 n_records, std::size_t chunk_records)
+    : program_(std::move(program)),
+      profile_(profile),
+      mem_(profile_),
+      regs_(initial_regs()),
+      chunk_(chunk_records),
+      remaining_(n_records) {
+  HCSIM_CHECK(!program_.uops.empty(), "cannot execute an empty program");
+  HCSIM_CHECK(chunk_records > 0, "chunk_records must be positive");
+  buf_.reserve(std::min<u64>(chunk_, remaining_));
+}
+
+std::span<const TraceRecord> ProgramTraceCursor::next_chunk() {
+  buf_.clear();
+  const u64 n = std::min<u64>(chunk_, remaining_);
+  for (u64 i = 0; i < n; ++i)
+    buf_.push_back(step_uop(program_, regs_, mem_, pc_));
+  remaining_ -= n;
+  return buf_;
 }
 
 Trace generate_trace(const WorkloadProfile& profile, u64 n_records) {

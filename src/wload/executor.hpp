@@ -8,8 +8,10 @@
 // sampled from a distribution.
 #pragma once
 
+#include <array>
 #include <unordered_map>
 
+#include "isa/reg.hpp"
 #include "trace/trace.hpp"
 #include "wload/profile.hpp"
 
@@ -40,5 +42,36 @@ Trace execute_program(const Program& program, const WorkloadProfile& profile,
 
 /// Convenience: generate_program + execute_program.
 Trace generate_trace(const WorkloadProfile& profile, u64 n_records);
+
+/// Streaming counterpart of execute_program: a pull cursor that interprets
+/// the program on demand, one bounded chunk at a time, into an internal
+/// reusable buffer. Long runs therefore cost O(chunk) memory instead of a
+/// materialized record vector — the record stream is bit-identical to
+/// execute_program's. Owns the program; generated-workload only (RISC-V
+/// kernels stream push-side, see rv/kernels.hpp).
+class ProgramTraceCursor final : public TraceCursor {
+ public:
+  static constexpr std::size_t kDefaultChunkRecords = std::size_t{1} << 16;
+
+  ProgramTraceCursor(Program program, const WorkloadProfile& profile,
+                     u64 n_records, std::size_t chunk_records = kDefaultChunkRecords);
+
+  // Self-referential (mem_ keeps a reference into profile_): not movable.
+  ProgramTraceCursor(const ProgramTraceCursor&) = delete;
+  ProgramTraceCursor& operator=(const ProgramTraceCursor&) = delete;
+
+  const Program& program() const override { return program_; }
+  std::span<const TraceRecord> next_chunk() override;
+
+ private:
+  Program program_;
+  WorkloadProfile profile_;  // mem_ keeps a reference into this copy
+  SyntheticMemory mem_;
+  std::array<u32, kNumRegs> regs_{};
+  std::vector<TraceRecord> buf_;
+  std::size_t chunk_;
+  u64 remaining_;
+  u32 pc_ = 0;
+};
 
 }  // namespace hcsim

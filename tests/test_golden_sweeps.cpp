@@ -1,0 +1,54 @@
+// Golden determinism: the hot-path rewrite (enum-indexed counters,
+// ring-buffer schedulers, streaming traces) must hold every paper statistic
+// bit-identical to the pre-refactor simulator. The embedded CSVs were
+// captured from the seed implementation (std::map counters + std::set
+// ledgers); the fig06/fig12/rv named sweeps must reproduce them
+// byte-for-byte, serially and on the thread pool.
+#include <gtest/gtest.h>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+
+#include "golden_sweep_data.inc"
+
+namespace hcsim::exp {
+namespace {
+
+constexpr u64 kGoldenTraceLen = 4000;  // the length the goldens were captured at
+
+std::string sweep_csv(const std::string& name, unsigned threads) {
+  auto spec = find_sweep(name);
+  EXPECT_TRUE(spec.has_value()) << name;
+  spec->trace_lens = {kGoldenTraceLen};
+  RunOptions opts;
+  opts.threads = threads;
+  return to_csv(run_sweep(*spec, opts));
+}
+
+TEST(GoldenSweeps, Fig06MatchesSeedSerial) {
+  EXPECT_EQ(sweep_csv("fig06", 1), kGolden_fig06);
+}
+
+TEST(GoldenSweeps, Fig06MatchesSeedThreaded) {
+  EXPECT_EQ(sweep_csv("fig06", 4), kGolden_fig06);
+}
+
+TEST(GoldenSweeps, Fig12MatchesSeedSerial) {
+  EXPECT_EQ(sweep_csv("fig12", 1), kGolden_fig12);
+}
+
+TEST(GoldenSweeps, Fig12MatchesSeedThreaded) {
+  EXPECT_EQ(sweep_csv("fig12", 4), kGolden_fig12);
+}
+
+TEST(GoldenSweeps, RvMatchesSeedSerial) {
+  EXPECT_EQ(sweep_csv("rv", 1), kGolden_rv);
+}
+
+TEST(GoldenSweeps, RvMatchesSeedThreaded) {
+  EXPECT_EQ(sweep_csv("rv", 4), kGolden_rv);
+}
+
+}  // namespace
+}  // namespace hcsim::exp

@@ -64,6 +64,22 @@ struct TraceBuilder {
 
 MachineConfig baseline() { return monolithic_baseline(); }
 
+TEST(Pipeline, NreadyClassifiesWaitingUopsWithoutTruncation) {
+  // Wide-valued independent adds are helper-capable but steer wide; six
+  // dispatch per wide cycle against an issue width of three, so some sit
+  // ready-but-unissued while the helper cluster idles: textbook NREADY
+  // w2n events. The ring-ledger range probe classifies every gap exactly —
+  // the old 64-sample stepping loop recorded nothing past its cap, which
+  // the truncation counter now makes observable (and must stay zero here).
+  TraceBuilder tb;
+  tb.movi(kRegEax, 0x123456);  // wide value
+  for (int i = 0; i < 40; ++i)
+    tb.add(kRegEbx, kRegEax, kRegEax, 0x123456, 0x123456);
+  const SimResult r = simulate(helper_machine(steering_888()), tb.trace);
+  EXPECT_GT(r.nready_w2n, 0u);
+  EXPECT_EQ(r.counters.get("nready_truncations"), 0u);
+}
+
 TEST(Pipeline, CommitsEveryUop) {
   TraceBuilder tb;
   tb.movi(kRegEax, 1);

@@ -94,6 +94,120 @@ TEST(QueueTracker, SizeAccessor) {
   EXPECT_EQ(q.size(), 32u);
 }
 
+TEST(QueueTracker, EarliestDispatchIsAPureQuery) {
+  // Regression: the old multiset tracker erased the earliest occupant
+  // inside earliest_dispatch, so a caller that probed without dispatching
+  // (the flush/re-steer path runs exec_in twice) silently freed a slot.
+  QueueTracker q(2);
+  q.add(100);
+  q.add(200);
+  EXPECT_EQ(q.earliest_dispatch(5), 100u);
+  EXPECT_EQ(q.earliest_dispatch(5), 100u);  // unchanged: no occupant was evicted
+  EXPECT_EQ(q.occupancy(5), 2u);            // both entries still live
+}
+
+TEST(QueueTracker, FullQueueWaitsForEnoughDepartures) {
+  // With the queue over-subscribed (probe + add pattern of the IR split
+  // loop), a dispatch must wait until occupancy actually drops below the
+  // queue size, i.e. for the n-th departure, not just the first.
+  QueueTracker q(1);
+  q.add(100);
+  EXPECT_EQ(q.earliest_dispatch(0), 100u);
+  q.add(150);  // the µop that dispatches at 100
+  EXPECT_EQ(q.earliest_dispatch(0), 150u);  // 2 live, size 1: needs 2 departures
+  EXPECT_EQ(q.earliest_dispatch(120), 150u);  // entry at 100 drained; 1 live, full
+  EXPECT_EQ(q.earliest_dispatch(150), 150u);  // all drained: dispatch immediately
+}
+
+TEST(QueueTracker, RepeatedOverfullProbesAreStable) {
+  // Over-subscribed queue (probe + add pattern): the multi-departure walk
+  // must not remember progress across calls — a pure query returns the
+  // same answer every time, and no live entry is skipped.
+  QueueTracker q(2);
+  q.add(100);
+  q.add(200);
+  q.add(300);
+  EXPECT_EQ(q.earliest_dispatch(0), 200u);  // 3 live, size 2: 2 departures
+  EXPECT_EQ(q.earliest_dispatch(0), 200u);  // identical on repeat
+  EXPECT_EQ(q.occupancy(0), 3u);
+  EXPECT_EQ(q.earliest_dispatch(100), 200u);  // entry at 100 drained: 2 live, full
+  EXPECT_EQ(q.earliest_dispatch(100), 200u);
+}
+
+TEST(QueueTracker, RingGrowsForFarFutureIssueTicks) {
+  QueueTracker q(4);
+  q.add(10);
+  q.add(u64{1} << 20);  // far beyond the initial ring capacity
+  EXPECT_EQ(q.occupancy(0), 2u);
+  EXPECT_EQ(q.occupancy(10), 1u);
+  EXPECT_EQ(q.occupancy(u64{1} << 20), 0u);
+}
+
+TEST(SlotSchedule, RingWrapAroundKeepsCounts) {
+  // Drive the reservation window far past the 64k-cycle ring capacity: the
+  // ring must keep per-cycle counts exact across the wrap.
+  SlotSchedule s(2, 1);
+  const Tick far = 3u << 16;  // 3x the window
+  EXPECT_EQ(s.reserve(far), far);
+  EXPECT_EQ(s.reserve(far), far);
+  EXPECT_EQ(s.reserve(far), far + 1);  // width enforced after the wrap
+  EXPECT_FALSE(s.has_free_slot(far));
+  EXPECT_TRUE(s.has_free_slot(far + 1));
+}
+
+TEST(SlotSchedule, GcHorizonAdvancesWithTheWindow) {
+  SlotSchedule s(1, 1);
+  (void)s.reserve(0);
+  EXPECT_EQ(s.gc_horizon_cycle(), 0u);
+  // Reserving far ahead slides the window; cycle 0 is garbage-collected and
+  // reports no free slot (same contract as the old ledger's GC cutoff).
+  const Tick far = 5u << 16;
+  (void)s.reserve(far);
+  EXPECT_GT(s.gc_horizon_cycle(), 0u);
+  EXPECT_FALSE(s.has_free_slot(0));
+  // A reservation below the horizon is clamped up to it.
+  EXPECT_EQ(s.reserve(0), s.gc_horizon_cycle());
+}
+
+TEST(SlotSchedule, FreeSlotInFindsGapAndRespectsRange) {
+  SlotSchedule s(1, 1);
+  for (Tick t = 0; t < 400; ++t) (void)s.reserve(t);  // cycles 0..399 full
+  EXPECT_FALSE(s.free_slot_in(0, 400).free);   // saturated region only
+  EXPECT_TRUE(s.free_slot_in(0, 401).free);    // cycle 400 is past the frontier
+  EXPECT_TRUE(s.free_slot_in(100, 200).truncated == false);
+  EXPECT_FALSE(s.free_slot_in(100, 100).free);  // empty interval
+}
+
+TEST(SlotSchedule, FreeSlotInClassifiesLongGaps) {
+  // Regression for the NREADY accounting: the old tick-stepping probe gave
+  // up after 64 samples, so a free slot opening >64 cycles into a long
+  // ready->issue gap was missed. The range probe must see it.
+  SlotSchedule s(1, 1);
+  for (Tick t = 0; t < 500; ++t) (void)s.reserve(t);  // full through cycle 499
+  (void)s.reserve(501);                               // leave cycle 500 free
+  const auto probe = s.free_slot_in(0, 501);
+  EXPECT_TRUE(probe.free);  // the only free cycle is the 501st of the gap
+  EXPECT_FALSE(probe.truncated);
+  EXPECT_FALSE(s.free_slot_in(0, 500).free);
+}
+
+TEST(SlotSchedule, FreeSlotInReportsTruncationBelowHorizon) {
+  SlotSchedule s(1, 1);
+  (void)s.reserve(6u << 16);  // slide the window; cycle 0 is GC'd
+  const auto probe = s.free_slot_in(0, 10);
+  EXPECT_TRUE(probe.truncated);
+}
+
+TEST(SlotSchedule, FreeSlotInWideClockProbesWholeCycles) {
+  // cycle_ticks=2: the tick range [2, 6) overlaps cycles 1 and 2.
+  SlotSchedule s(1, 2);
+  (void)s.reserve(2);  // cycle 1 full
+  (void)s.reserve(4);  // cycle 2 full
+  (void)s.reserve(6);  // cycle 3 full (keeps the frontier past the range)
+  EXPECT_FALSE(s.free_slot_in(2, 6).free);
+  EXPECT_TRUE(s.free_slot_in(2, 9).free);  // cycle 4 is past the frontier
+}
+
 class SlotScheduleWidths : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(SlotScheduleWidths, ThroughputMatchesWidth) {

@@ -1,0 +1,144 @@
+// hcsim_bench — simulator-throughput measurement for the repo's own
+// performance trajectory (items/sec, not a paper figure).
+//
+// Times the hot paths that dominate every experiment: synthetic trace
+// generation, the baseline pipeline, the helper+IR pipeline, and the fused
+// streaming path (generation + simulation, no materialized trace). Results
+// go to stdout as JSON; append them to BENCH_sim_throughput.json so each PR
+// has a recorded baseline to beat (see README "Performance").
+//
+// Usage:
+//   hcsim_bench [--uops N] [--reps N] [--label S] [--json FILE]
+//
+// Defaults: 100000 µops, 5 repetitions (best rep wins, matching
+// bench_sim_throughput's BM_PipelineBaseline/100000 reporting).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+using namespace hcsim;
+
+namespace {
+
+u64 parse_u64(const char* flag, const char* s) {
+  char* end = nullptr;
+  const u64 v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || v == 0) {
+    std::fprintf(stderr, "%s: bad value '%s' (positive integer required)\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Best-of-`reps` throughput of `body` in items (µops) per second.
+template <typename Fn>
+double best_items_per_sec(u64 n_items, unsigned reps, Fn&& body) {
+  double best = 0.0;
+  for (unsigned r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (secs > 0.0) best = std::max(best, static_cast<double>(n_items) / secs);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u64 n_uops = 100000;
+  unsigned reps = 5;
+  std::string label = "local";
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--uops") {
+      n_uops = parse_u64("--uops", next());
+    } else if (arg == "--reps") {
+      reps = static_cast<unsigned>(parse_u64("--reps", next()));
+    } else if (arg == "--label") {
+      label = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--uops N] [--reps N] [--label S] [--json FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const WorkloadProfile& prof = spec_profile("gcc");
+  const MachineConfig baseline = monolithic_baseline();
+  const MachineConfig helper_ir = helper_machine(steering_ir());
+
+  const double gen = best_items_per_sec(n_uops, reps, [&] {
+    Trace t = generate_trace(prof, n_uops);
+    if (t.records.empty()) std::abort();  // keep the work observable
+  });
+
+  const Trace& trace = cached_trace(prof, n_uops);
+  const double base = best_items_per_sec(n_uops, reps, [&] {
+    SimResult r = simulate(baseline, trace);
+    if (r.final_tick == 0) std::abort();
+  });
+  const double ir = best_items_per_sec(n_uops, reps, [&] {
+    SimResult r = simulate(helper_ir, trace);
+    if (r.final_tick == 0) std::abort();
+  });
+  const double streamed = best_items_per_sec(n_uops, reps, [&] {
+    SimResult r = simulate_streamed(baseline, prof, n_uops);
+    if (r.final_tick == 0) std::abort();
+  });
+
+  std::string escaped_label;
+  for (char c : label) {
+    if (c == '"' || c == '\\') {
+      escaped_label += '\\';
+      escaped_label += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char esc[8];
+      std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+      escaped_label += esc;
+    } else {
+      escaped_label += c;
+    }
+  }
+  char buf[512];
+  std::string json = "{\n  \"label\": \"" + escaped_label + "\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"workload\": \"gcc\",\n"
+                "  \"uops\": %llu,\n"
+                "  \"reps\": %u,\n"
+                "  \"items_per_second\": {\n"
+                "    \"trace_gen\": %.0f,\n"
+                "    \"pipeline_baseline\": %.0f,\n"
+                "    \"pipeline_helper_ir\": %.0f,\n"
+                "    \"pipeline_streamed\": %.0f\n"
+                "  }\n"
+                "}\n",
+                static_cast<unsigned long long>(n_uops), reps, gen, base, ir, streamed);
+  json += buf;
+  std::fputs(json.c_str(), stdout);
+  if (!json_path.empty()) {
+    std::ofstream f(json_path, std::ios::binary);
+    if (!f || !(f << json)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -46,23 +46,24 @@ int main(int argc, char** argv) {
   const SteeringConfig steer = scheme_by_name(argc > 2 ? argv[2] : "ir");
   const u64 n = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : default_trace_len();
 
-  Trace owned;
-  const Trace* trace = nullptr;
+  const MachineConfig cfg =
+      steer.helper_enabled ? helper_machine(steer) : monolithic_baseline();
+  std::printf("%s", describe_machine(cfg).c_str());
+
+  SimResult r;
   if (is_spec_name(source)) {
-    trace = &cached_trace(spec_profile(source), n);
+    // Cached trace for CI-sized runs; streamed chunk-wise above the
+    // threshold, so paper-scale n_uops don't materialize a multi-GB trace.
+    r = simulate_workload(cfg, spec_profile(source), n);
   } else {
+    Trace owned;
     if (!load_trace(owned, source)) {
       std::fprintf(stderr, "'%s' is neither a SPEC profile nor a readable trace\n",
                    source.c_str());
       return 1;
     }
-    trace = &owned;
+    r = simulate(cfg, owned);
   }
-
-  const MachineConfig cfg =
-      steer.helper_enabled ? helper_machine(steer) : monolithic_baseline();
-  std::printf("%s", describe_machine(cfg).c_str());
-  const SimResult r = simulate(cfg, *trace);
   const PowerReport power = analyze_power(r, cfg);
 
   std::printf("\nworkload      : %s (%llu uops)\n", r.workload.c_str(),
