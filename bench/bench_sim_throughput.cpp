@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "predict/width_predictor.hpp"
+#include "sample/spec.hpp"
+#include "sample/windowed.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -56,6 +58,26 @@ void BM_PipelineStreamed(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_PipelineStreamed)->Arg(10000)->Arg(100000);
+
+void BM_PipelineSampled(benchmark::State& state) {
+  // Warm-up/measure sampled simulation: 5 windows of 1% warm-up + 4% measure
+  // feed ~25% of the trace. Items processed counts every trace µop *covered*
+  // (simulated or skipped), so the ratio to BM_PipelineStreamed is the
+  // sampling speedup at this schedule.
+  const WorkloadProfile& prof = spec_profile("gcc");
+  const MachineConfig cfg = monolithic_baseline();
+  const u64 n = static_cast<u64>(state.range(0));
+  sample::SampleSpec spec;
+  spec.warmup = n / 100;
+  spec.measure = n / 25;
+  spec.period = n / 5;
+  for (auto _ : state) {
+    sample::SampledResult r = sample::simulate_sampled(cfg, prof, n, spec);
+    benchmark::DoNotOptimize(r.total.final_tick);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PipelineSampled)->Arg(10000)->Arg(100000);
 
 void BM_WidthPredictorTrain(benchmark::State& state) {
   WidthPredictor p;

@@ -581,6 +581,16 @@ void Pipeline::feed(const TraceRecord& rec) {
   res_.final_tick = std::max(res_.final_tick, ctick);
 }
 
+Pipeline::StatsCheckpoint Pipeline::checkpoint_stats() const {
+  StatsCheckpoint cp;
+  cp.res = res_;
+  cp.dl0_hits = memsys_.dl0().hit_ratio().num;
+  cp.dl0_accesses = memsys_.dl0().hit_ratio().den;
+  cp.ul1_hits = memsys_.ul1().hit_ratio().num;
+  cp.ul1_accesses = memsys_.ul1().hit_ratio().den;
+  return cp;
+}
+
 SimResult Pipeline::finish() {
   const Tick wt = wide_ticks();
   train_cp_window(next_seq_);

@@ -47,6 +47,29 @@ class Pipeline {
   /// Pull every record from `cursor` through feed() and finish().
   SimResult run(TraceCursor& cursor);
 
+  /// Raw running-statistics checkpoint for windowed sampling (src/sample):
+  /// every integer event field accumulated so far (derived doubles unset —
+  /// only finish() computes those) plus the cache hit/access totals that
+  /// finish() folds into rates. Two checkpoints of one run subtract to
+  /// exactly the events of the µops fed between them.
+  ///
+  /// This is the counter half of the window checkpoint contract. The
+  /// *machine-state* half is deliberately reset-plus-warmup instead of
+  /// snapshot/restore: a window re-simulated from a cold Pipeline after K
+  /// warm-up µops is a pure function of (config, program, record range), so
+  /// window slices can run on any thread in any order and still splice
+  /// bit-identically to the serial windowed run — a mutable snapshot of
+  /// predictors/caches/schedulers would reintroduce cross-window ordering.
+  struct StatsCheckpoint {
+    SimResult res;
+    u64 dl0_hits = 0, dl0_accesses = 0;
+    u64 ul1_hits = 0, ul1_accesses = 0;
+  };
+  StatsCheckpoint checkpoint_stats() const;
+
+  /// Dynamic µops fed so far.
+  u64 fed_uops() const { return next_seq_; }
+
  private:
   struct RegState;
   struct CpTrainEntry;

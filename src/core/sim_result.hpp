@@ -1,5 +1,10 @@
 // hcsim — results of one simulation run; every figure/table in the paper is
 // derived from these fields.
+//
+// NOTE: the windowed-sampling splice (src/sample/windowed.cpp) subtracts and
+// accumulates every *integer* field of this struct field-by-field; when
+// adding a field here, extend measured_delta()/accumulate() there or sampled
+// runs will silently drop it.
 #pragma once
 
 #include <string>

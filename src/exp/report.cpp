@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
+#include "sample/windowed.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace hcsim::exp {
@@ -148,6 +151,75 @@ std::string to_json(const SweepResult& result) {
   }
   os << "  ]\n}\n";
   return os.str();
+}
+
+namespace {
+
+/// Per-metric aggregation across all compared points of a sweep pair.
+struct MetricAgg {
+  double full_sum = 0.0;
+  double sampled_sum = 0.0;
+  double max_err = 0.0;
+  u64 n = 0;
+};
+
+void check_same_shape(const SweepResult& full, const SweepResult& sampled) {
+  HCSIM_CHECK(full.points.size() == sampled.points.size(),
+              "sampling error report: sweeps have different point counts (" +
+                  std::to_string(full.points.size()) + " vs " +
+                  std::to_string(sampled.points.size()) + ")");
+  for (std::size_t i = 0; i < full.points.size(); ++i) {
+    const ExperimentPoint& f = full.points[i].point;
+    const ExperimentPoint& s = sampled.points[i].point;
+    HCSIM_CHECK(f.profile.name == s.profile.name && f.variant.name == s.variant.name,
+                "sampling error report: point " + std::to_string(i) +
+                    " mismatch (" + f.profile.name + "/" + f.variant.name + " vs " +
+                    s.profile.name + "/" + s.variant.name + ")");
+  }
+}
+
+}  // namespace
+
+std::string render_sampling_error(const SweepResult& full, const SweepResult& sampled) {
+  check_same_shape(full, sampled);
+  // Aggregate per metric in first-appearance order; every point contributes
+  // its variant run (the shared baseline runs would only duplicate entries).
+  std::vector<std::string> order;
+  std::map<std::string, MetricAgg> aggs;
+  for (std::size_t i = 0; i < full.points.size(); ++i) {
+    for (const sample::SampleError& e :
+         sample::sampling_errors(full.points[i].sim, sampled.points[i].sim)) {
+      auto it = aggs.find(e.metric);
+      if (it == aggs.end()) {
+        order.push_back(e.metric);
+        it = aggs.emplace(e.metric, MetricAgg{}).first;
+      }
+      it->second.full_sum += e.full;
+      it->second.sampled_sum += e.sampled;
+      it->second.max_err = std::max(it->second.max_err, e.rel_err);
+      ++it->second.n;
+    }
+  }
+  TextTable t({"metric", "full (mean)", "sampled (mean)", "max rel err %"});
+  for (const std::string& m : order) {
+    const MetricAgg& a = aggs.at(m);
+    const double n = a.n > 0 ? static_cast<double>(a.n) : 1.0;
+    t.add_row({m, TextTable::num(a.full_sum / n, 5), TextTable::num(a.sampled_sum / n, 5),
+               TextTable::num(100.0 * a.max_err, 3)});
+  }
+  std::ostringstream os;
+  os << "Sampled vs full (" << full.points.size() << " points, worst point per metric)\n"
+     << t.render();
+  return os.str();
+}
+
+double max_sampling_rel_error(const SweepResult& full, const SweepResult& sampled) {
+  check_same_shape(full, sampled);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < full.points.size(); ++i)
+    worst = std::max(worst, sample::max_rel_error(sample::sampling_errors(
+                                full.points[i].sim, sampled.points[i].sim)));
+  return worst;
 }
 
 std::string render_summary(const SweepResult& result) {

@@ -50,4 +50,15 @@ std::string to_json(const SweepResult& result);
 /// Human-readable per-variant summary table (TextTable-rendered).
 std::string render_summary(const SweepResult& result);
 
+/// Sampled-vs-full accuracy report: the same sweep run fully and through
+/// the src/sample windowed simulator (points matched by grid index), each
+/// metric aggregated to its mean full/sampled value and worst per-point
+/// relative error. Counter metrics compare per-committed-µop rates; see
+/// sample::sampling_errors for the metric list and error definition.
+std::string render_sampling_error(const SweepResult& full, const SweepResult& sampled);
+
+/// Worst per-point per-metric relative error between the two runs — the
+/// bound CI and tests gate on. Fatal if the sweeps have different shapes.
+double max_sampling_rel_error(const SweepResult& full, const SweepResult& sampled);
+
 }  // namespace hcsim::exp

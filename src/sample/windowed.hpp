@@ -1,0 +1,102 @@
+// hcsim — the windowed (warm-up/measure) simulator.
+//
+// WindowedSimulator streams one deterministic trace through the sampling
+// schedule of a SampleSpec: each window cold-starts a fresh Pipeline, feeds
+// the window's warm-up µops (training predictors/caches/schedulers, counters
+// discarded via a StatsCheckpoint taken at the warm-up/measure boundary),
+// feeds the measure µops, and closes by subtracting the checkpoint — the
+// window's *measured* counters. Measured windows are spliced in trace order
+// into one SimResult whose derived statistics (IPC, hit rates, ...) are
+// computed from the spliced integer totals.
+//
+// Because a window is a pure function of (machine config, program, record
+// range), the serial run (one stream, one forward pass) and the parallel run
+// (windows sliced across an exp::ThreadPool, one fresh stream per job) are
+// bit-identical — enforced by tests/test_sample.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hpp"
+#include "core/pipeline.hpp"
+#include "sample/record_stream.hpp"
+#include "sample/spec.hpp"
+
+namespace hcsim::sample {
+
+/// One measured window's spliced contribution.
+struct WindowStats {
+  WindowRange range;
+  /// Counter deltas of the measured region; derived fields (ipc, hit rates)
+  /// are finalized per window so the window table can show them.
+  SimResult measured;
+  u64 dl0_hits = 0, dl0_accesses = 0;  // measured-region cache deltas
+  u64 ul1_hits = 0, ul1_accesses = 0;
+};
+
+struct SampledResult {
+  SampleSpec spec;
+  u64 trace_len = 0;       // requested dynamic length
+  u64 simulated_uops = 0;  // warm-up + measured µops actually fed
+  u64 measured_uops = 0;
+  /// False when the plan had no measurable window (trace shorter than one
+  /// warm-up) and the run fell back to full simulation.
+  bool sampled = false;
+  /// The spliced measured aggregate (or the full result on fallback).
+  SimResult total;
+  /// Per-window snapshots, in trace order. Windows the trace ended before
+  /// reaching (e.g. an RV kernel halting early) are dropped.
+  std::vector<WindowStats> windows;
+};
+
+class WindowedSimulator {
+ public:
+  WindowedSimulator(const MachineConfig& cfg, const SampleSpec& spec);
+
+  /// Run the schedule over one trace. threads <= 1: serial, a single
+  /// forward pass over one stream. threads > 1: every window is an
+  /// independent slice job on a thread pool, each opening its own stream
+  /// and cold-starting at its warm-up boundary. Results are bit-identical
+  /// across thread counts.
+  SampledResult run(const StreamFactory& factory, u64 trace_len,
+                    unsigned threads = 1) const;
+
+ private:
+  MachineConfig cfg_;
+  SampleSpec spec_;
+};
+
+/// Sampled counterpart of simulate_workload(): trace routing matches it
+/// (cached/materialized at or below stream_threshold(), streamed above).
+/// n_records == 0 resolves to default_trace_len().
+SampledResult simulate_sampled(const MachineConfig& cfg, const WorkloadProfile& profile,
+                               u64 n_records, const SampleSpec& spec,
+                               unsigned threads = 1);
+
+/// Sampled run over an already-materialized trace (loaded .hctrace files).
+SampledResult simulate_sampled(const MachineConfig& cfg, const Trace& trace,
+                               const SampleSpec& spec, unsigned threads = 1);
+
+// --- sampled-vs-full error reporting ---------------------------------------
+
+/// One compared metric. Counters are compared as per-committed-µop *rates*
+/// (raw magnitudes differ by construction: a sampled run measures fewer
+/// µops). rel_err uses a 0.01 absolute floor on the denominator so
+/// near-zero rates don't explode the report.
+struct SampleError {
+  std::string metric;
+  double full = 0.0;
+  double sampled = 0.0;
+  double rel_err = 0.0;
+};
+
+std::vector<SampleError> sampling_errors(const SimResult& full, const SimResult& sampled);
+
+/// Worst rel_err in the list (0.0 for an empty list).
+double max_rel_error(const std::vector<SampleError>& errors);
+
+/// Per-window summary table (index, range, measured µops, IPC, helper%, ...).
+std::string render_window_table(const SampledResult& result);
+
+}  // namespace hcsim::sample

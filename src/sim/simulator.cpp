@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "rv/kernels.hpp"
+#include "sample/windowed.hpp"
 #include "util/log.hpp"
 #include "wload/program_gen.hpp"
 
@@ -17,9 +18,9 @@ u64 default_trace_len() {
 
 u64 stream_threshold() {
   // 2M records ≈ 64MB of trace — the most the process-wide cache should pin
-  // per (workload, length) cell.
-  static const u64 kThreshold = env_u64("HCSIM_STREAM_THRESHOLD", 2000000);
-  return kThreshold;
+  // per (workload, length) cell. Deliberately not cached in a static:
+  // the threshold-boundary tests move it at runtime.
+  return env_u64("HCSIM_STREAM_THRESHOLD", 2000000);
 }
 
 SimResult simulate_streamed(const MachineConfig& cfg, const WorkloadProfile& profile,
@@ -40,6 +41,12 @@ SimResult simulate_streamed(const MachineConfig& cfg, const WorkloadProfile& pro
 SimResult simulate_workload(const MachineConfig& cfg, const WorkloadProfile& profile,
                             u64 n_records) {
   if (n_records == 0) n_records = default_trace_len();
+  // Sampling hook: with an active spec every workload simulation — sweeps,
+  // figure benches, CLIs — becomes a windowed run. Windows stay serial here
+  // because callers (the sweep runner) already parallelize across points.
+  const sample::SampleSpec& spec = sample::active_sample_spec();
+  if (spec.enabled())
+    return sample::simulate_sampled(cfg, profile, n_records, spec).total;
   if (n_records <= stream_threshold())
     return simulate(cfg, cached_trace(profile, n_records));
   return simulate_streamed(cfg, profile, n_records);

@@ -30,7 +30,8 @@ const Trace& cached_trace(const WorkloadProfile& profile, u64 n_records);
 /// Trace length above which simulate_workload() streams records chunk-wise
 /// from the generator instead of materializing + caching the whole trace
 /// (a paper-scale 100M-µop window is ~3GB of records). Overridable via the
-/// HCSIM_STREAM_THRESHOLD environment variable.
+/// HCSIM_STREAM_THRESHOLD environment variable, re-read on every call so
+/// tests can move the boundary at runtime.
 u64 stream_threshold();
 
 /// Always-streaming simulation: records flow from the workload generator
@@ -41,6 +42,11 @@ SimResult simulate_streamed(const MachineConfig& cfg, const WorkloadProfile& pro
 
 /// Simulate one workload: cached in-memory trace for runs at or below
 /// stream_threshold() (shared across experiments), streaming above it.
+/// When the process-wide sampling spec (sample::active_sample_spec(),
+/// HCSIM_SAMPLE_* environment variables or a CLI front-end) is enabled, the
+/// run goes through the src/sample windowed simulator instead and the
+/// returned result is the spliced measured-window aggregate — which is how
+/// every named sweep runs sampled without new plumbing.
 SimResult simulate_workload(const MachineConfig& cfg, const WorkloadProfile& profile,
                             u64 n_records = 0);
 

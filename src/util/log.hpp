@@ -1,6 +1,8 @@
 // hcsim — assertion and environment helpers.
 #pragma once
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,12 +22,29 @@ namespace hcsim {
     if (!(cond)) ::hcsim::fatal(__FILE__, __LINE__, (msg)); \
   } while (0)
 
-/// Read an environment-variable override (used by benches to scale trace
-/// length without recompiling).
+/// Read an environment-variable override (used by benches and the sampling
+/// layer to scale runs without recompiling). Malformed values are fatal:
+/// an override that silently truncates ("100k" -> 100, "1e8" -> 1) or wraps
+/// on overflow would quietly run the wrong experiment, which is worse than
+/// stopping. Only plain non-negative decimal integers are accepted.
 inline unsigned long long env_u64(const char* name, unsigned long long fallback) {
   const char* v = std::getenv(name);
   if (!v || !*v) return fallback;
-  return std::strtoull(v, nullptr, 10);
+  // strtoull accepts leading whitespace, '+', '-' (negating modulo 2^64) and
+  // base prefixes; reject everything but bare digits up front.
+  for (const char* p = v; *p; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p)))
+      fatal(__FILE__, __LINE__,
+            std::string(name) + ": malformed value '" + v +
+                "' (non-negative decimal integer required)");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (errno == ERANGE || end == v || *end != '\0')
+    fatal(__FILE__, __LINE__,
+          std::string(name) + ": value '" + v + "' does not fit in 64 bits");
+  return parsed;
 }
 
 }  // namespace hcsim

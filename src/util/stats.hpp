@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "util/log.hpp"
 #include "util/types.hpp"
 
 namespace hcsim {
@@ -98,6 +99,28 @@ class Histogram {
     u64 acc = 0;
     for (std::size_t i = 0; i <= std::min<std::size_t>(v, counts_.size() - 1); ++i) acc += counts_[i];
     return static_cast<double>(acc) / static_cast<double>(total_);
+  }
+
+  /// Bin-wise accumulation of another histogram with the same bin count
+  /// (used to splice per-window measurement histograms in trace order).
+  void merge(const Histogram& o) {
+    HCSIM_CHECK(counts_.size() == o.counts_.size(), "Histogram::merge: bin mismatch");
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    sum_ += o.sum_;
+  }
+
+  /// Bin-wise subtraction of an earlier checkpoint of *this same* histogram:
+  /// `o` must be a prefix (every bin <= ours), which holds for any snapshot
+  /// taken earlier in a run since bins only grow.
+  void subtract(const Histogram& o) {
+    HCSIM_CHECK(counts_.size() == o.counts_.size(), "Histogram::subtract: bin mismatch");
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      HCSIM_CHECK(counts_[i] >= o.counts_[i], "Histogram::subtract: not a prefix");
+      counts_[i] -= o.counts_[i];
+    }
+    total_ -= o.total_;
+    sum_ -= o.sum_;
   }
 
  private:

@@ -3,6 +3,9 @@
 // is bit-identical to the materialized-vector path.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "rv/kernels.hpp"
 #include "sim/simulator.hpp"
 #include "wload/program_gen.hpp"
@@ -87,6 +90,30 @@ TEST(Streaming, SimulateWorkloadRoutesByThreshold) {
   const MachineConfig cfg = monolithic_baseline();
   expect_same_result(simulate_workload(cfg, prof, kLen),
                      simulate(cfg, cached_trace(prof, kLen)));
+}
+
+TEST(Streaming, ThresholdBoundaryIsInvisible) {
+  // Pin the routing boundary and run exactly at, one below and one above it:
+  // 999/1000 take the cached-trace branch, 1001 the streaming branch. All
+  // three must match the materialized simulation bit-for-bit — the boundary
+  // may change memory behavior, never results.
+  const char* old = std::getenv("HCSIM_STREAM_THRESHOLD");
+  const std::string saved = old ? old : "";
+  setenv("HCSIM_STREAM_THRESHOLD", "1000", 1);
+  ASSERT_EQ(stream_threshold(), 1000u);
+
+  const WorkloadProfile& prof = spec_profile("twolf");
+  const MachineConfig cfg = helper_machine(steering_ir());
+  for (u64 len : {u64{999}, u64{1000}, u64{1001}}) {
+    const SimResult routed = simulate_workload(cfg, prof, len);
+    const SimResult materialized = simulate(cfg, cached_trace(prof, len));
+    expect_same_result(materialized, routed);
+  }
+
+  if (old)
+    setenv("HCSIM_STREAM_THRESHOLD", saved.c_str(), 1);
+  else
+    unsetenv("HCSIM_STREAM_THRESHOLD");
 }
 
 }  // namespace

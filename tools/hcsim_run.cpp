@@ -3,14 +3,27 @@
 //
 // Usage:
 //   hcsim_run <trace.hctrace|profile-name> [scheme] [n_uops]
+//             [--sampled] [--sample-warmup N] [--sample-measure N]
+//             [--sample-period N] [--sample-windows N]
+//             [--threads N] [--compare-full]
 //
 // scheme: baseline 888 br lr cr cp ir irn      (default: ir)
+//
+// Sampling: --sampled switches to warm-up/measure windowed simulation
+// (defaults warmup=20000 measure=80000, period auto ~20 windows) and prints
+// the per-window table; any --sample-* flag implies --sampled and overrides
+// the HCSIM_SAMPLE_* environment. --threads N slices the windows across a
+// thread pool (bit-identical to --threads 1). --compare-full additionally
+// runs the full simulation and prints the sampled-vs-full error per metric.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "power/power_model.hpp"
+#include "sample/spec.hpp"
+#include "sample/windowed.hpp"
 #include "sim/simulator.hpp"
 
 using namespace hcsim;
@@ -34,38 +47,30 @@ bool is_spec_name(const std::string& s) {
   return false;
 }
 
-}  // namespace
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.hctrace|profile> [scheme] [n_uops]\n"
+               "          [--sampled] [--sample-warmup N] [--sample-measure N]\n"
+               "          [--sample-period N] [--sample-windows N]\n"
+               "          [--threads N] [--compare-full]\n",
+               argv0);
+  return 2;
+}
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace.hctrace|profile> [scheme] [n_uops]\n",
-                 argv[0]);
-    return 2;
+/// Parse one decimal integer, rejecting trailing garbage ("100k").
+u64 parse_u64(const char* flag, const char* s, bool allow_zero) {
+  char* end = nullptr;
+  const u64 v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || (!allow_zero && v == 0)) {
+    std::fprintf(stderr, "%s: bad value '%s' (%s integer required)\n", flag, s,
+                 allow_zero ? "non-negative" : "positive");
+    std::exit(2);
   }
-  const std::string source = argv[1];
-  const SteeringConfig steer = scheme_by_name(argc > 2 ? argv[2] : "ir");
-  const u64 n = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : default_trace_len();
+  return v;
+}
 
-  const MachineConfig cfg =
-      steer.helper_enabled ? helper_machine(steer) : monolithic_baseline();
-  std::printf("%s", describe_machine(cfg).c_str());
-
-  SimResult r;
-  if (is_spec_name(source)) {
-    // Cached trace for CI-sized runs; streamed chunk-wise above the
-    // threshold, so paper-scale n_uops don't materialize a multi-GB trace.
-    r = simulate_workload(cfg, spec_profile(source), n);
-  } else {
-    Trace owned;
-    if (!load_trace(owned, source)) {
-      std::fprintf(stderr, "'%s' is neither a SPEC profile nor a readable trace\n",
-                   source.c_str());
-      return 1;
-    }
-    r = simulate(cfg, owned);
-  }
+void print_result(const SimResult& r, const MachineConfig& cfg) {
   const PowerReport power = analyze_power(r, cfg);
-
   std::printf("\nworkload      : %s (%llu uops)\n", r.workload.c_str(),
               static_cast<unsigned long long>(r.uops));
   std::printf("config        : %s\n", r.config.c_str());
@@ -93,5 +98,113 @@ int main(int argc, char** argv) {
               power.energy, power.frontend, power.wide_backend,
               power.helper_backend, power.memory, power.clock, power.copies);
   std::printf("ED^2          : %.3g\n", power.ed2p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  sample::SampleSpec spec = sample::spec_from_env();
+  bool sampled = spec.enabled();
+  bool compare_full = false;
+  unsigned threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--sampled") {
+      sampled = true;
+    } else if (arg == "--sample-warmup") {
+      spec.warmup = parse_u64("--sample-warmup", next(), /*allow_zero=*/true);
+      sampled = true;
+    } else if (arg == "--sample-measure") {
+      spec.measure = parse_u64("--sample-measure", next(), /*allow_zero=*/false);
+      sampled = true;
+    } else if (arg == "--sample-period") {
+      spec.period = parse_u64("--sample-period", next(), /*allow_zero=*/true);
+      sampled = true;
+    } else if (arg == "--sample-windows") {
+      spec.max_windows = parse_u64("--sample-windows", next(), /*allow_zero=*/true);
+      sampled = true;
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(
+          parse_u64("--threads", next(), /*allow_zero=*/false));
+    } else if (arg == "--compare-full") {
+      compare_full = true;
+      sampled = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty() || positional.size() > 3) return usage(argv[0]);
+
+  const std::string source = positional[0];
+  const SteeringConfig steer =
+      scheme_by_name(positional.size() > 1 ? positional[1] : "ir");
+  const u64 n = positional.size() > 2
+                    ? parse_u64("n_uops", positional[2].c_str(), /*allow_zero=*/false)
+                    : default_trace_len();
+  if (sampled) {
+    if (spec.measure == 0) spec.measure = sample::kDefaultMeasure;
+    spec.validate();
+  }
+  // This tool drives sampling explicitly via simulate_sampled(); clear the
+  // env-initialized active spec so simulate_workload always runs full.
+  sample::set_active_sample_spec(sample::SampleSpec{});
+
+  const MachineConfig cfg =
+      steer.helper_enabled ? helper_machine(steer) : monolithic_baseline();
+  std::printf("%s", describe_machine(cfg).c_str());
+
+  // The trace source: a SPEC/rv profile routes through the cached/streamed
+  // trace machinery; anything else must be a readable .hctrace file.
+  const bool from_profile = is_spec_name(source);
+  Trace owned;
+  if (!from_profile && !load_trace(owned, source)) {
+    std::fprintf(stderr, "'%s' is neither a SPEC profile nor a readable trace\n",
+                 source.c_str());
+    return 1;
+  }
+
+  if (!sampled) {
+    const SimResult r = from_profile
+                            ? simulate_workload(cfg, spec_profile(source), n)
+                            : simulate(cfg, owned);
+    print_result(r, cfg);
+    return 0;
+  }
+
+  const sample::SampledResult sr =
+      from_profile ? sample::simulate_sampled(cfg, spec_profile(source), n, spec, threads)
+                   : sample::simulate_sampled(cfg, owned, spec, threads);
+  std::printf("\nsampling      : %s\n", spec.describe().c_str());
+  if (!sr.sampled) {
+    std::printf("trace too short for the schedule; fell back to a full run\n");
+  } else {
+    std::printf("windows       : %zu (%llu of %llu uops simulated, %llu measured)\n",
+                sr.windows.size(), (unsigned long long)sr.simulated_uops,
+                (unsigned long long)sr.trace_len,
+                (unsigned long long)sr.measured_uops);
+    std::printf("\n%s", sample::render_window_table(sr).c_str());
+  }
+  print_result(sr.total, cfg);
+
+  if (compare_full) {
+    const SimResult full = from_profile
+                               ? simulate_workload(cfg, spec_profile(source), n)
+                               : simulate(cfg, owned);
+    std::printf("\nsampled vs full:\n");
+    for (const sample::SampleError& e : sample::sampling_errors(full, sr.total))
+      std::printf("  %-28s full %12.6f  sampled %12.6f  rel err %6.2f%%\n",
+                  e.metric.c_str(), e.full, e.sampled, 100.0 * e.rel_err);
+  }
   return 0;
 }

@@ -5,10 +5,20 @@
 //   hcsim_sweep list
 //   hcsim_sweep <sweep> [--threads N] [--len N] [--seeds s1,s2,...]
 //                       [--csv FILE] [--json FILE] [--quiet]
+//                       [--sampled] [--sample-warmup N] [--sample-measure N]
+//                       [--sample-period N] [--sample-windows N]
+//                       [--compare-full] [--max-rel-err X]
 //
 // sweep: fig06 fig12 cumulative edp helper_design rv smoke
 // --threads 0 uses every hardware thread; --threads 1 (default) runs
 // serially. Results are identical across thread counts.
+//
+// Sampling: --sampled turns on warm-up/measure windowed simulation for every
+// point (defaults warmup=20000 measure=80000, period auto ~20 windows); any
+// --sample-* flag implies --sampled and overrides the HCSIM_SAMPLE_*
+// environment. --compare-full additionally runs the full (unsampled) sweep
+// and prints the sampled-vs-full error table; with --max-rel-err X the exit
+// status is 1 when any metric's worst relative error exceeds X.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +28,7 @@
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
+#include "sample/spec.hpp"
 
 using namespace hcsim;
 using namespace hcsim::exp;
@@ -31,6 +42,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <sweep|list> [--threads N] [--len N] [--seeds s1,s2,...]\n"
                "          [--csv FILE] [--json FILE] [--quiet]\n"
+               "          [--sampled] [--sample-warmup N] [--sample-measure N]\n"
+               "          [--sample-period N] [--sample-windows N]\n"
+               "          [--compare-full] [--max-rel-err X]\n"
                "sweeps:",
                argv0);
   for (const std::string& n : sweep_names()) std::fprintf(stderr, " %s", n.c_str());
@@ -81,6 +95,17 @@ std::vector<u64> parse_u64_list(const char* flag, const char* s) {
   return out;
 }
 
+/// Parse one positive decimal double ("0.05"), rejecting trailing garbage.
+double parse_double(const char* flag, const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v > 0.0)) {
+    std::fprintf(stderr, "%s: bad value '%s' (positive number required)\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -106,6 +131,12 @@ int main(int argc, char** argv) {
   RunOptions opts;
   std::string csv_path, json_path;
   bool quiet = false;
+  // Sampling starts from the HCSIM_SAMPLE_* environment so CLI flags only
+  // override what they name; any --sample-* flag implies --sampled.
+  sample::SampleSpec sample_spec = sample::spec_from_env();
+  bool sampled = sample_spec.enabled();
+  bool compare_full = false;
+  double max_rel_err = 0.0;  // 0 = no bound enforced
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -133,6 +164,25 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--sampled") {
+      sampled = true;
+    } else if (arg == "--sample-warmup") {
+      sample_spec.warmup = parse_u64("--sample-warmup", next(), /*allow_zero=*/true);
+      sampled = true;
+    } else if (arg == "--sample-measure") {
+      sample_spec.measure = parse_u64("--sample-measure", next(), /*allow_zero=*/false);
+      sampled = true;
+    } else if (arg == "--sample-period") {
+      sample_spec.period = parse_u64("--sample-period", next(), /*allow_zero=*/true);
+      sampled = true;
+    } else if (arg == "--sample-windows") {
+      sample_spec.max_windows =
+          parse_u64("--sample-windows", next(), /*allow_zero=*/true);
+      sampled = true;
+    } else if (arg == "--compare-full") {
+      compare_full = true;
+    } else if (arg == "--max-rel-err") {
+      max_rel_err = parse_double("--max-rel-err", next());
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage(argv[0]);
@@ -149,12 +199,44 @@ int main(int argc, char** argv) {
     };
   }
 
+  if (max_rel_err > 0.0) compare_full = true;  // the bound needs the reference run
+  if (compare_full) sampled = true;
+  if (sampled) {
+    if (sample_spec.measure == 0) sample_spec.measure = sample::kDefaultMeasure;
+    sample_spec.validate();
+  }
+
+  // The full reference sweep runs first, with sampling forced off; the main
+  // (possibly sampled) sweep then installs the active spec for its workers.
+  SweepResult full_result;
+  if (compare_full) {
+    sample::set_active_sample_spec(sample::SampleSpec{});
+    full_result = run_sweep(*spec, opts);
+  }
+  sample::set_active_sample_spec(sampled ? sample_spec : sample::SampleSpec{});
   const SweepResult result = run_sweep(*spec, opts);
 
   std::printf("sweep %s: %zu points, %u thread%s, %.2fs\n", result.sweep.c_str(),
               result.points.size(), result.threads_used,
               result.threads_used == 1 ? "" : "s", result.wall_seconds);
+  if (sampled) std::printf("sampling: %s\n", sample_spec.describe().c_str());
   std::printf("%s\n", render_summary(result).c_str());
+
+  if (compare_full) {
+    std::printf("full sweep: %.2fs, sampled sweep: %.2fs (%.1fx)\n",
+                full_result.wall_seconds, result.wall_seconds,
+                result.wall_seconds > 0.0
+                    ? full_result.wall_seconds / result.wall_seconds
+                    : 0.0);
+    std::printf("%s\n", render_sampling_error(full_result, result).c_str());
+    const double worst = max_sampling_rel_error(full_result, result);
+    if (max_rel_err > 0.0 && worst > max_rel_err) {
+      std::fprintf(stderr,
+                   "max relative error %.4f exceeds the --max-rel-err bound %.4f\n",
+                   worst, max_rel_err);
+      return 1;
+    }
+  }
 
   if (!csv_path.empty() && !write_file(csv_path, to_csv(result))) {
     std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
