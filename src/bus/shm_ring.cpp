@@ -1,0 +1,235 @@
+#include "bus/shm_ring.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace hcsim::bus {
+
+namespace {
+
+u64 round_up_pow2(u64 v) {
+  u64 p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Yield-then-sleep backoff for the blocking paths: cheap when the peer is
+/// active, kind to the scheduler when it stalls. Returns false once
+/// `deadline` (steady-clock, or time_point::max for "forever") has passed.
+struct Backoff {
+  std::chrono::steady_clock::time_point deadline;
+  unsigned spins = 0;
+
+  bool pause() {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    if (++spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    return true;
+  }
+};
+
+std::chrono::steady_clock::time_point deadline_from_ms(u64 ms) {
+  if (ms == 0) return std::chrono::steady_clock::time_point::max();
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+}  // namespace
+
+ShmRing ShmRing::create(const std::string& path, u64 capacity) {
+  capacity = round_up_pow2(capacity < 4096 ? 4096 : capacity);
+  const u64 map_bytes = sizeof(RingHeader) + capacity;
+
+  ::unlink(path.c_str());  // stale segment from a crashed run
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  HCSIM_CHECK(fd >= 0, "ShmRing::create: cannot create " + path);
+  if (::ftruncate(fd, static_cast<off_t>(map_bytes)) != 0) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    HCSIM_CHECK(false, "ShmRing::create: ftruncate failed for " + path);
+  }
+  void* map = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  HCSIM_CHECK(map != MAP_FAILED, "ShmRing::create: mmap failed for " + path);
+
+  ShmRing ring;
+  ring.hdr_ = new (map) RingHeader();
+  ring.data_ = static_cast<u8*>(map) + sizeof(RingHeader);
+  ring.map_bytes_ = map_bytes;
+  ring.path_ = path;
+  ring.hdr_->capacity = capacity;
+  ring.hdr_->version = kVersion;
+  // Publish the magic last: attach() takes a header with the magic set as
+  // fully initialized.
+  std::atomic_thread_fence(std::memory_order_release);
+  ring.hdr_->magic = kMagic;
+  return ring;
+}
+
+ShmRing ShmRing::attach(const std::string& path) {
+  ShmRing ring;
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    ring.error_ = "cannot open ring segment " + path;
+    return ring;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < static_cast<off_t>(sizeof(RingHeader))) {
+    ::close(fd);
+    ring.error_ = "ring segment too small: " + path;
+    return ring;
+  }
+  const u64 map_bytes = static_cast<u64>(st.st_size);
+  void* map = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    ring.error_ = "mmap failed for " + path;
+    return ring;
+  }
+  RingHeader* hdr = static_cast<RingHeader*>(map);
+  if (hdr->magic != kMagic || hdr->version != kVersion ||
+      hdr->capacity == 0 || (hdr->capacity & (hdr->capacity - 1)) != 0 ||
+      map_bytes != sizeof(RingHeader) + hdr->capacity) {
+    ::munmap(map, map_bytes);
+    ring.error_ = "malformed ring header in " + path;
+    return ring;
+  }
+  ring.hdr_ = hdr;
+  ring.data_ = static_cast<u8*>(map) + sizeof(RingHeader);
+  ring.map_bytes_ = map_bytes;
+  return ring;
+}
+
+ShmRing ShmRing::anonymous(u64 capacity) {
+  capacity = round_up_pow2(capacity < 4096 ? 4096 : capacity);
+  const u64 map_bytes = sizeof(RingHeader) + capacity;
+  void* map = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  HCSIM_CHECK(map != MAP_FAILED, "ShmRing::anonymous: mmap failed");
+
+  ShmRing ring;
+  ring.hdr_ = new (map) RingHeader();
+  ring.data_ = static_cast<u8*>(map) + sizeof(RingHeader);
+  ring.map_bytes_ = map_bytes;
+  ring.hdr_->capacity = capacity;
+  ring.hdr_->version = kVersion;
+  ring.hdr_->magic = kMagic;
+  return ring;
+}
+
+ShmRing::~ShmRing() { unmap(); }
+
+ShmRing::ShmRing(ShmRing&& other) noexcept { *this = std::move(other); }
+
+ShmRing& ShmRing::operator=(ShmRing&& other) noexcept {
+  if (this == &other) return *this;
+  unmap();
+  hdr_ = other.hdr_;
+  data_ = other.data_;
+  map_bytes_ = other.map_bytes_;
+  path_ = std::move(other.path_);
+  error_ = std::move(other.error_);
+  other.hdr_ = nullptr;
+  other.data_ = nullptr;
+  other.map_bytes_ = 0;
+  other.path_.clear();
+  return *this;
+}
+
+void ShmRing::unmap() {
+  if (!hdr_) return;
+  ::munmap(hdr_, map_bytes_);
+  if (!path_.empty()) ::unlink(path_.c_str());  // owner releases the segment
+  hdr_ = nullptr;
+  data_ = nullptr;
+  map_bytes_ = 0;
+}
+
+bool ShmRing::write(const void* data, u64 n, u64 deadline_ms) {
+  HCSIM_CHECK(valid(), "write on an invalid ShmRing");
+  const u8* src = static_cast<const u8*>(data);
+  const u64 cap = hdr_->capacity;
+  u64 head = hdr_->head.load(std::memory_order_relaxed);  // producer-owned
+  Backoff backoff{deadline_from_ms(deadline_ms)};
+
+  while (n > 0) {
+    if (hdr_->consumer_done.load(std::memory_order_acquire) != 0) return false;
+    const u64 tail = hdr_->tail.load(std::memory_order_acquire);
+    const u64 space = cap - (head - tail);
+    if (space == 0) {
+      if (!backoff.pause()) return false;  // deadline: peer presumed dead
+      continue;
+    }
+    const u64 chunk0 = std::min(n, space);
+    const u64 off = head & (cap - 1);
+    const u64 run = std::min(chunk0, cap - off);  // up to the wrap point
+    std::memcpy(data_ + off, src, run);
+    if (chunk0 > run) std::memcpy(data_, src + run, chunk0 - run);
+    head += chunk0;
+    hdr_->head.store(head, std::memory_order_release);
+    src += chunk0;
+    n -= chunk0;
+  }
+  return true;
+}
+
+void ShmRing::close_write() {
+  if (hdr_) hdr_->producer_done.store(1, std::memory_order_release);
+}
+
+u64 ShmRing::read(void* out, u64 n, u64 deadline_ms) {
+  HCSIM_CHECK(valid(), "read on an invalid ShmRing");
+  u8* dst = static_cast<u8*>(out);
+  const u64 cap = hdr_->capacity;
+  u64 tail = hdr_->tail.load(std::memory_order_relaxed);  // consumer-owned
+  u64 got = 0;
+  Backoff backoff{deadline_from_ms(deadline_ms)};
+
+  while (got < n) {
+    const u64 head = hdr_->head.load(std::memory_order_acquire);
+    const u64 avail = head - tail;
+    if (avail == 0) {
+      // Check EOF only after observing an empty ring: producer_done is set
+      // after the final head publish, so this order never drops a tail.
+      if (hdr_->producer_done.load(std::memory_order_acquire) != 0) {
+        if (hdr_->head.load(std::memory_order_acquire) == tail) return got;
+        continue;  // bytes landed between the two loads
+      }
+      if (!backoff.pause()) return got;  // deadline
+      continue;
+    }
+    const u64 chunk0 = std::min(n - got, avail);
+    const u64 off = tail & (cap - 1);
+    const u64 run = std::min(chunk0, cap - off);
+    std::memcpy(dst + got, data_ + off, run);
+    if (chunk0 > run) std::memcpy(dst + got + run, data_, chunk0 - run);
+    tail += chunk0;
+    hdr_->tail.store(tail, std::memory_order_release);
+    got += chunk0;
+  }
+  return got;
+}
+
+void ShmRing::close_read() {
+  if (hdr_) hdr_->consumer_done.store(1, std::memory_order_release);
+}
+
+u64 ShmRing::readable() const {
+  if (!hdr_) return 0;
+  return hdr_->head.load(std::memory_order_acquire) -
+         hdr_->tail.load(std::memory_order_acquire);
+}
+
+}  // namespace hcsim::bus

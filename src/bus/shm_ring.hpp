@@ -1,0 +1,119 @@
+// hcsim — lock-free single-producer/single-consumer shared-memory byte ring.
+//
+// The out-of-process trace bus (ROADMAP item 3, after cavatools' shmfifo):
+// a producer process (RV executor, program generator, or the hcsimd daemon)
+// streams trace bytes to one consumer process through a memory-mapped ring.
+// Head and tail are monotonically increasing byte counters in a shared
+// header — the producer owns head, the consumer owns tail, and each side
+// publishes with a release store and observes the other with an acquire
+// load, so no locks are taken on the data path.
+//
+// Backing is a plain file created with open+ftruncate+mmap(MAP_SHARED)
+// (put it on /dev/shm or $TMPDIR for a memory-backed segment) or an
+// anonymous shared mapping (`ShmRing::anonymous`) for same-process and
+// fork-based tests. The creating side owns the file and unlinks it on
+// destruction, so an idle shutdown releases the segment.
+//
+// Blocking behavior: `write` waits for space, `read` waits for bytes, both
+// with a yield/backoff spin. Each side can signal departure — the producer
+// with `close_write` (EOF: reads drain and then return short), the consumer
+// with `close_read` (writes fail fast instead of blocking forever on a
+// departed peer). An optional deadline turns a dead peer into a clean
+// timeout instead of a hang.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace hcsim::bus {
+
+/// Shared control block at the start of the mapping. POD + std::atomic
+/// counters only; both processes map it at (potentially) different
+/// addresses, so nothing here may hold a pointer.
+struct RingHeader {
+  u32 magic = 0;
+  u32 version = 0;
+  u64 capacity = 0;  // data bytes following the header (power of two)
+
+  alignas(64) std::atomic<u64> head{0};  // bytes produced (producer-owned)
+  alignas(64) std::atomic<u64> tail{0};  // bytes consumed (consumer-owned)
+
+  std::atomic<u32> producer_done{0};  // EOF marker
+  std::atomic<u32> consumer_done{0};  // consumer detached
+
+  // Range-request control channel (consumer -> producer), used by the
+  // RecordStream mode of the trace bus: the consumer publishes a request
+  // with a sequence bump; the producer acknowledges before streaming.
+  std::atomic<u64> req_seq{0};
+  std::atomic<u64> req_ack{0};
+  std::atomic<u64> req_begin{0};
+  std::atomic<u64> req_end{0};
+};
+
+class ShmRing {
+ public:
+  static constexpr u32 kMagic = 0x48435247;  // "HCRG"
+  static constexpr u32 kVersion = 1;
+  static constexpr u64 kDefaultCapacity = u64{1} << 20;
+
+  /// Create a new ring backed by `path` (unlinked when this end is
+  /// destroyed). `capacity` is rounded up to a power of two. Aborts on I/O
+  /// failure — a bus endpoint without its segment cannot do anything.
+  static ShmRing create(const std::string& path, u64 capacity = kDefaultCapacity);
+
+  /// Attach to a ring created by another process. Returns an invalid ring
+  /// (valid() == false, `error()` set) when the file is missing or its
+  /// header is malformed — attach is the untrusted direction.
+  static ShmRing attach(const std::string& path);
+
+  /// Anonymous MAP_SHARED ring: usable across fork() and between threads.
+  static ShmRing anonymous(u64 capacity = kDefaultCapacity);
+
+  ShmRing() = default;
+  ~ShmRing();
+  ShmRing(ShmRing&& other) noexcept;
+  ShmRing& operator=(ShmRing&& other) noexcept;
+  ShmRing(const ShmRing&) = delete;
+  ShmRing& operator=(const ShmRing&) = delete;
+
+  bool valid() const { return hdr_ != nullptr; }
+  const std::string& error() const { return error_; }
+  u64 capacity() const { return hdr_ ? hdr_->capacity : 0; }
+  RingHeader& header() { return *hdr_; }
+
+  /// Producer: append `n` bytes, blocking while the ring is full. Returns
+  /// false when the consumer has departed or `deadline_ms` (0 = forever)
+  /// expires — the write may then be partially applied, and the stream is
+  /// dead either way.
+  bool write(const void* data, u64 n, u64 deadline_ms = 0);
+
+  /// Producer: publish EOF. Readers drain buffered bytes, then see a short
+  /// read.
+  void close_write();
+
+  /// Consumer: read exactly `n` bytes, blocking while the ring is empty.
+  /// Returns the byte count actually read — short only when the producer
+  /// closed (truncation shows up here) or `deadline_ms` expired.
+  u64 read(void* out, u64 n, u64 deadline_ms = 0);
+
+  /// Consumer: signal departure so a blocked producer fails fast.
+  void close_read();
+
+  /// Bytes currently buffered (consumer-side view).
+  u64 readable() const;
+  bool producer_closed() const { return hdr_ && hdr_->producer_done.load(std::memory_order_acquire) != 0; }
+  bool consumer_closed() const { return hdr_ && hdr_->consumer_done.load(std::memory_order_acquire) != 0; }
+
+ private:
+  void unmap();
+
+  RingHeader* hdr_ = nullptr;
+  u8* data_ = nullptr;       // ring data area, hdr_->capacity bytes
+  u64 map_bytes_ = 0;        // total mapping size
+  std::string path_;         // non-empty only on the owning (creating) end
+  std::string error_;
+};
+
+}  // namespace hcsim::bus

@@ -1,0 +1,251 @@
+#include "bus/trace_bus.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "trace/wire.hpp"
+#include "util/log.hpp"
+
+namespace hcsim::bus {
+
+namespace {
+
+/// Buffered chunk writer: packs records into [u32 count][records] frames.
+/// Once the consumer departs (a write fails), it swallows further records —
+/// the producing stream cannot be stopped mid-feed_range, so the cheap thing
+/// is to stop copying and let the range finish.
+struct ChunkWriter {
+  ShmRing& ring;
+  u64 chunk_records;
+  u64 deadline_ms;
+  std::vector<u8> buf;
+  u64 count = 0;
+  bool alive = true;
+
+  ChunkWriter(ShmRing& r, const ProducerOptions& opts)
+      : ring(r),
+        chunk_records(std::clamp<u64>(opts.chunk_records, 1, kMaxChunkRecords)),
+        deadline_ms(opts.write_deadline_ms) {
+    buf.reserve(sizeof(u32) + chunk_records * wire::kRecordBytes);
+  }
+
+  void add(const TraceRecord& rec) {
+    if (!alive) return;
+    if (count == 0) {
+      buf.clear();
+      wire::put_u32(buf, 0);  // count patched in flush()
+    }
+    wire::put_record(buf, rec);
+    if (++count == chunk_records) flush();
+  }
+
+  void flush() {
+    if (!alive || count == 0) return;
+    const u32 c = static_cast<u32>(count);
+    std::memcpy(buf.data(), &c, sizeof(c));
+    alive = ring.write(buf.data(), buf.size(), deadline_ms);
+    count = 0;
+  }
+
+  /// End-of-range / end-of-stream marker.
+  bool marker() {
+    flush();
+    if (!alive) return false;
+    const u32 zero = 0;
+    alive = ring.write(&zero, sizeof(zero), deadline_ms);
+    return alive;
+  }
+};
+
+bool write_header(ShmRing& ring, const Program& program, u64 seed, u64 deadline_ms) {
+  std::vector<u8> prog;
+  wire::put_program(prog, program, seed);
+  HCSIM_CHECK(prog.size() <= kMaxProgramBytes, "program section too large for the bus");
+  std::vector<u8> buf;
+  wire::put_u32(buf, kBusMagic);
+  wire::put_u32(buf, kBusVersion);
+  wire::put_u32(buf, static_cast<u32>(prog.size()));
+  buf.insert(buf.end(), prog.begin(), prog.end());
+  return ring.write(buf.data(), buf.size(), deadline_ms);
+}
+
+}  // namespace
+
+bool produce_trace(ShmRing& ring, sample::RecordStream& src, u64 seed, u64 len,
+                   const ProducerOptions& opts) {
+  if (!write_header(ring, src.program(), seed, opts.write_deadline_ms)) {
+    ring.close_write();
+    return false;
+  }
+  ChunkWriter out(ring, opts);
+  src.feed_range(0, len, [&out](const TraceRecord& rec) { out.add(rec); });
+  const bool complete = out.marker();
+  ring.close_write();
+  return complete;
+}
+
+u64 serve_trace_ranges(ShmRing& ring, const sample::StreamFactory& factory, u64 seed,
+                       const ProducerOptions& opts) {
+  std::unique_ptr<sample::RecordStream> stream = factory();
+  if (!write_header(ring, stream->program(), seed, opts.write_deadline_ms)) {
+    ring.close_write();
+    return 0;
+  }
+
+  RingHeader& h = ring.header();
+  u64 served_seq = 0;
+  u64 served = 0;
+  u64 pos = 0;  // furthest position the live stream has delivered
+  for (;;) {
+    // Wait for the next request; the consumer's departure ends the service.
+    unsigned spins = 0;
+    while (h.req_seq.load(std::memory_order_acquire) == served_seq) {
+      if (ring.consumer_closed()) {
+        ring.close_write();
+        return served;
+      }
+      if (++spins < 64)
+        std::this_thread::yield();
+      else
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    served_seq = h.req_seq.load(std::memory_order_acquire);
+    h.req_ack.store(served_seq, std::memory_order_release);
+    const u64 begin = h.req_begin.load(std::memory_order_acquire);
+    const u64 end = h.req_end.load(std::memory_order_acquire);
+
+    if (begin < pos) {
+      // Backward request (a replay over the same trace): prefer the
+      // stream's own checkpoints, reopen from scratch only without them.
+      if (!stream->try_rewind(begin)) stream = factory();
+      pos = begin;
+    }
+    ChunkWriter out(ring, opts);
+    if (begin < end)
+      stream->feed_range(begin, end, [&out](const TraceRecord& rec) { out.add(rec); });
+    pos = std::max(pos, end);
+    ++served;
+    if (!out.marker()) {
+      ring.close_write();
+      return served;  // consumer departed mid-range
+    }
+  }
+}
+
+// --- consumer ----------------------------------------------------------------
+
+BusReader::BusReader(ShmRing& ring, u64 read_deadline_ms)
+    : ring_(ring), deadline_ms_(read_deadline_ms) {
+  if (!ring_.valid()) {
+    error_ = "invalid ring: " + ring_.error();
+    return;
+  }
+  u8 fixed[3 * sizeof(u32)];
+  if (ring_.read(fixed, sizeof(fixed), deadline_ms_) != sizeof(fixed)) {
+    fail("stream header truncated");
+    return;
+  }
+  wire::Reader head(fixed, sizeof(fixed));
+  u32 magic = 0, version = 0, prog_bytes = 0;
+  head.get_u32(magic);
+  head.get_u32(version);
+  head.get_u32(prog_bytes);
+  if (magic != kBusMagic) {
+    fail("bad bus magic");
+    return;
+  }
+  if (version != kBusVersion) {
+    fail("unsupported bus version");
+    return;
+  }
+  if (prog_bytes == 0 || prog_bytes > kMaxProgramBytes) {
+    fail("corrupt program section size");
+    return;
+  }
+
+  raw_.resize(prog_bytes);
+  if (ring_.read(raw_.data(), prog_bytes, deadline_ms_) != prog_bytes) {
+    fail("program section truncated");
+    return;
+  }
+  wire::Reader prog(raw_.data(), raw_.size());
+  if (!prog.get_program(program_, seed_) || prog.remaining() != 0) {
+    fail("malformed program section");
+    return;
+  }
+  if (program_.uops.empty()) fail("empty program on the bus");
+}
+
+void BusReader::fail(const std::string& msg) {
+  if (error_.empty()) error_ = msg;
+  ring_.close_read();  // unblock / fail-fast the producer
+}
+
+std::span<const TraceRecord> BusReader::next_chunk() {
+  if (!ok()) return {};
+  u32 count = 0;
+  const u64 got = ring_.read(&count, sizeof(count), deadline_ms_);
+  if (got < sizeof(count)) {
+    fail(got == 0 ? "stream ended without an end marker" : "stream truncated mid-tag");
+    return {};
+  }
+  if (count == 0) return {};  // end-of-range / end-of-stream marker
+  if (count > kMaxChunkRecords) {
+    fail("corrupt chunk tag (" + std::to_string(count) + " records)");
+    return {};
+  }
+
+  raw_.resize(static_cast<std::size_t>(count) * wire::kRecordBytes);
+  if (ring_.read(raw_.data(), raw_.size(), deadline_ms_) != raw_.size()) {
+    fail("truncated final chunk");
+    return {};
+  }
+  records_.resize(count);
+  wire::Reader r(raw_.data(), raw_.size());
+  const u32 n_static = static_cast<u32>(program_.uops.size());
+  for (u32 i = 0; i < count; ++i) {
+    if (!r.get_record(records_[i])) {
+      fail("malformed record");  // unreachable: sized above
+      return {};
+    }
+    if (records_[i].pc >= n_static) {
+      fail("record pc out of range");
+      return {};
+    }
+  }
+  return records_;
+}
+
+BusRecordStream::BusRecordStream(ShmRing& ring, u64 read_deadline_ms)
+    : ring_(ring), reader_(ring, read_deadline_ms) {}
+
+void BusRecordStream::feed_range(u64 begin, u64 end, const sample::RecordSink& sink) {
+  HCSIM_CHECK(begin <= end, "BusRecordStream: begin > end");
+  HCSIM_CHECK(begin >= pos_, "BusRecordStream: backward seek");
+  pos_ = begin;
+  if (!ok() || begin == end) return;
+
+  RingHeader& h = ring_.header();
+  h.req_begin.store(begin, std::memory_order_relaxed);
+  h.req_end.store(end, std::memory_order_relaxed);
+  h.req_seq.fetch_add(1, std::memory_order_release);
+
+  for (;;) {
+    const std::span<const TraceRecord> chunk = reader_.next_chunk();
+    if (chunk.empty()) break;  // range marker, or truncation (ok() false)
+    for (const TraceRecord& rec : chunk) sink(rec);
+  }
+  pos_ = end;
+}
+
+bool BusRecordStream::try_rewind(u64 pos) {
+  if (!ok()) return false;
+  // Nothing to undo locally: the next feed_range publishes `begin` and the
+  // producer rewinds its own stream (serve_trace_ranges handles begin < pos).
+  if (pos < pos_) pos_ = pos;
+  return true;
+}
+
+}  // namespace hcsim::bus

@@ -1,0 +1,142 @@
+// hcsim — v3 trace chunks over a ShmRing: the out-of-process trace bus.
+//
+// Wire layout (all little-endian, the trace/wire.hpp packing):
+//
+//   [u32 magic "HCBT"] [u32 version] [u32 prog_bytes] [program section]
+//   then repeated chunks:  [u32 count] [count * 29-byte packed records]
+//   count == 0 is a marker: end-of-range in range mode, end-of-stream in
+//   one-shot mode. The producer's close_write() ends the stream in either
+//   mode; a stream that stops mid-chunk is reported as truncated, not
+//   silently shortened.
+//
+// Two consumption modes over the same framing:
+//   - BusCursor (TraceCursor): the producer pushes records [0, len) once;
+//     Pipeline::feed / simulate() consume the ring unchanged.
+//   - BusRecordStream (sample::RecordStream): the consumer publishes
+//     [begin, end) range requests on the ring's control channel and the
+//     producer answers each with chunks + a 0-count marker, so
+//     WindowedSimulator's serial window plan runs against a remote
+//     producer unchanged.
+//
+// Producer resumability: serve_trace_ranges keeps ONE live stream across
+// requests — a forward request costs O(gap), not O(begin). Backward
+// requests (a second sweep over the same trace) first try the stream's own
+// checkpoint support (RecordStream::try_rewind — the RV executor snapshots
+// machine state every checkpoint interval) and only reopen from the factory
+// when the stream has none, preserving the pump_range over-pump-and-trim
+// instruction-boundary contract either way because the slices are produced
+// by the same resumable cursor that produced the forward stream.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bus/shm_ring.hpp"
+#include "sample/record_stream.hpp"
+#include "trace/trace.hpp"
+
+namespace hcsim::bus {
+
+inline constexpr u32 kBusMagic = 0x48434254;  // "HCBT"
+inline constexpr u32 kBusVersion = 1;
+/// Upper bound a consumer accepts for one chunk's record count (guards the
+/// allocation against a corrupt tag).
+inline constexpr u32 kMaxChunkRecords = 1u << 16;
+/// Upper bound on the serialized program section.
+inline constexpr u32 kMaxProgramBytes = 1u << 26;
+
+struct ProducerOptions {
+  /// Records per chunk (bounded by kMaxChunkRecords).
+  u64 chunk_records = 4096;
+  /// Milliseconds write() may block on a full ring before declaring the
+  /// consumer dead. 0 = block forever.
+  u64 write_deadline_ms = 0;
+};
+
+/// One-shot producer: program header + records [0, len) + end marker + EOF.
+/// Returns false when the consumer departed mid-stream (the ring is dead);
+/// the stream is complete on true.
+bool produce_trace(ShmRing& ring, sample::RecordStream& src, u64 seed, u64 len,
+                   const ProducerOptions& opts = {});
+
+/// Range server: program header, then serve [begin, end) requests from the
+/// ring's control channel until the consumer departs. `factory` reopens the
+/// stream for a backward request the live stream cannot rewind to.
+/// Returns the number of requests served.
+u64 serve_trace_ranges(ShmRing& ring, const sample::StreamFactory& factory, u64 seed,
+                       const ProducerOptions& opts = {});
+
+/// Shared consumer core: header parsing + chunk-wise record decoding.
+class BusReader {
+ public:
+  /// Reads and validates the stream header (blocking up to deadline_ms, 0 =
+  /// forever). On failure ok() is false and error() says why.
+  explicit BusReader(ShmRing& ring, u64 read_deadline_ms = 0);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const Program& program() const { return program_; }
+  u64 seed() const { return seed_; }
+
+  /// Next decoded chunk (empty at a 0-count marker, stream EOF, or error —
+  /// check ok() to tell the last from the first two). Records are validated
+  /// against the program.
+  std::span<const TraceRecord> next_chunk();
+
+ private:
+  void fail(const std::string& msg);
+
+  ShmRing& ring_;
+  u64 deadline_ms_;
+  Program program_;
+  u64 seed_ = 0;
+  std::vector<u8> raw_;
+  std::vector<TraceRecord> records_;
+  std::string error_;
+};
+
+/// TraceCursor over a one-shot bus stream: Pipeline::feed / simulate()
+/// consume a remote producer unchanged. After the pipeline drains the
+/// cursor, check ok() — a truncated stream ends the cursor (the pipeline
+/// sees a normal end-of-trace) but is an error the caller must surface.
+class BusCursor final : public TraceCursor {
+ public:
+  explicit BusCursor(ShmRing& ring, u64 read_deadline_ms = 0)
+      : reader_(ring, read_deadline_ms) {}
+
+  bool ok() const { return reader_.ok(); }
+  const std::string& error() const { return reader_.error(); }
+  u64 seed() const { return reader_.seed(); }
+
+  const Program& program() const override { return reader_.program(); }
+  std::span<const TraceRecord> next_chunk() override { return reader_.next_chunk(); }
+
+ private:
+  BusReader reader_;
+};
+
+/// RecordStream over a range-serving bus producer. Forward-only between
+/// rewinds on the consumer side (the RecordStream contract); backward moves
+/// go through try_rewind, which simply resets the request position — the
+/// *producer* resolves the rewind (checkpoint restore or stream reopen) when
+/// the next range request arrives. Ranges past the producer's trace end are
+/// delivered short, like every other RecordStream.
+class BusRecordStream final : public sample::RecordStream {
+ public:
+  explicit BusRecordStream(ShmRing& ring, u64 read_deadline_ms = 0);
+
+  bool ok() const { return reader_.ok(); }
+  const std::string& error() const { return reader_.error(); }
+
+  const Program& program() const override { return reader_.program(); }
+  void feed_range(u64 begin, u64 end, const sample::RecordSink& sink) override;
+  bool try_rewind(u64 pos) override;
+
+ private:
+  ShmRing& ring_;
+  BusReader reader_;
+  u64 pos_ = 0;  // furthest position requested (forward-only check)
+};
+
+}  // namespace hcsim::bus

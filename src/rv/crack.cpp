@@ -192,22 +192,11 @@ CrackedProgram crack_program(const RvProgram& prog) {
   return out;
 }
 
-RvTraceInfo stream_from_program(const RvProgram& prog, const CrackedProgram& cracked,
-                                u64 max_uops,
-                                const std::function<void(const TraceRecord&)>& sink,
-                                const ExecLimits& limits) {
-  u64 emitted = 0;
-  auto push_rec = [&](const TraceRecord& r) {
-    ++emitted;
-    sink(r);
-  };
-
-  auto emit = [&](const RvStep& step) -> bool {
-    const u32 idx = step.pc / 4;
-    const u32 base = cracked.first_uop[idx];
-    const u32 n_uops = cracked.first_uop[idx + 1] - base;
-    if (emitted + n_uops > max_uops) return false;  // budget cut
-
+void emit_step_records(const CrackedProgram& cracked, const RvStep& step,
+                       const std::function<void(const TraceRecord&)>& fn) {
+  const u32 base = cracked.first_uop[step.pc / 4];
+  auto push_rec = [&](const TraceRecord& r) { fn(r); };
+  {
     const RvInst& in = step.inst;
     const u32 a = step.rs1_val, b = step.rs2_val;
     const u32 imm = static_cast<u32>(in.imm);
@@ -335,6 +324,22 @@ RvTraceInfo stream_from_program(const RvProgram& prog, const CrackedProgram& cra
       default:
         HCSIM_CHECK(false, "unreachable: illegal instruction executed");
     }
+  }
+}
+
+RvTraceInfo stream_from_program(const RvProgram& prog, const CrackedProgram& cracked,
+                                u64 max_uops,
+                                const std::function<void(const TraceRecord&)>& sink,
+                                const ExecLimits& limits) {
+  u64 emitted = 0;
+  auto emit = [&](const RvStep& step) -> bool {
+    const u32 idx = step.pc / 4;
+    const u32 n_uops = cracked.first_uop[idx + 1] - cracked.first_uop[idx];
+    if (emitted + n_uops > max_uops) return false;  // budget cut
+    emit_step_records(cracked, step, [&](const TraceRecord& r) {
+      ++emitted;
+      sink(r);
+    });
     return true;
   };
 
@@ -344,6 +349,66 @@ RvTraceInfo stream_from_program(const RvProgram& prog, const CrackedProgram& cra
   out.completed = res.completed;
   out.error = res.error;
   return out;
+}
+
+// --- RvStreamCursor ----------------------------------------------------------
+
+RvStreamCursor::RvStreamCursor(const RvProgram& prog, const CrackedProgram& cracked,
+                               const ExecLimits& limits)
+    : cracked_(&cracked), machine_(prog, limits) {}
+
+RvTraceInfo RvStreamCursor::info() const {
+  RvTraceInfo out;
+  out.instret = machine_.steps();
+  out.completed = machine_.completed();
+  out.error = machine_.error();
+  return out;
+}
+
+bool RvStreamCursor::refill() {
+  RvStep step;
+  if (machine_.step(step) != RvMachine::Outcome::kRetired) return false;
+  emit_step_records(*cracked_, step,
+                    [this](const TraceRecord& r) { pending_.push_back(r); });
+  return true;
+}
+
+RvTraceInfo RvStreamCursor::pump_range(
+    u64 begin, u64 end, const std::function<void(const TraceRecord&)>& sink) {
+  HCSIM_CHECK(begin <= end, "RvStreamCursor: begin > end");
+  HCSIM_CHECK(begin >= pos_, "RvStreamCursor: backward seek (restore a checkpoint)");
+  while (pos_ < end) {
+    if (head_ == pending_.size()) {
+      pending_.clear();
+      head_ = 0;
+      if (!refill()) break;  // halted / trapped / budget exhausted
+    }
+    // An instruction executes only while the cursor is short of `end`; a
+    // crack straddling the boundary leaves its tail buffered for the next
+    // range. Per-record filtering below trims the [pos_, begin) skip.
+    while (head_ < pending_.size() && pos_ < end) {
+      if (pos_ >= begin) sink(pending_[head_]);
+      ++head_;
+      ++pos_;
+    }
+  }
+  return info();
+}
+
+RvStreamCursor::Checkpoint RvStreamCursor::checkpoint() const {
+  Checkpoint c;
+  c.machine = machine_.save();
+  c.pos = pos_;
+  c.pending.assign(pending_.begin() + static_cast<std::ptrdiff_t>(head_),
+                   pending_.end());
+  return c;
+}
+
+void RvStreamCursor::restore(const Checkpoint& c) {
+  machine_.restore(c.machine);
+  pending_ = c.pending;
+  head_ = 0;
+  pos_ = c.pos;
 }
 
 Trace trace_from_program(const RvProgram& prog, u64 max_uops, RvTraceInfo* info,

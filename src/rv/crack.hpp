@@ -62,4 +62,63 @@ RvTraceInfo stream_from_program(const RvProgram& prog, const CrackedProgram& cra
                                 const std::function<void(const TraceRecord&)>& sink,
                                 const ExecLimits& limits = {});
 
+/// Emit the value-accurate TraceRecords of one retired instruction — exactly
+/// the records stream_from_program pushes for `step` (same switch, no budget
+/// logic). Shared by the one-shot streamer and the resumable cursor so the
+/// two paths cannot drift.
+void emit_step_records(const CrackedProgram& cracked, const RvStep& step,
+                       const std::function<void(const TraceRecord&)>& fn);
+
+/// Resumable streaming cracker: an RvMachine plus a pending-record buffer.
+///
+/// pump_range delivers arbitrary forward slices [begin, end) of the dynamic
+/// µop stream, bit-identical to one long stream_from_program pump. An
+/// instruction executes only while the cursor is short of `end`; if its
+/// crack runs past the range boundary the leftover records stay buffered
+/// for the next range (over-pump-and-trim at instruction granularity, the
+/// same contract KernelStream::pump_range honored by re-executing).
+///
+/// checkpoint()/restore() capture machine state + buffered records, so a
+/// holder can rewind to any previously saved position in O(mem_bytes)
+/// instead of re-executing from the entry point.
+class RvStreamCursor {
+ public:
+  /// Borrows `prog` and `cracked` (must be crack_program(prog)); the caller
+  /// keeps both alive for the cursor's lifetime.
+  RvStreamCursor(const RvProgram& prog, const CrackedProgram& cracked,
+                 const ExecLimits& limits = {});
+
+  /// Stream position of the next undelivered record.
+  u64 position() const { return pos_; }
+
+  /// Push records [begin, end) to `sink` in stream order; begin must be at
+  /// or past position() (records already consumed cannot be re-delivered —
+  /// restore a checkpoint instead). Skipping [position(), begin) executes
+  /// and discards. Delivered short if the program halts, traps, or exhausts
+  /// its instruction budget first.
+  RvTraceInfo pump_range(u64 begin, u64 end,
+                         const std::function<void(const TraceRecord&)>& sink);
+
+  struct Checkpoint {
+    RvMachineState machine;
+    u64 pos = 0;                       // stream position of pending.front()
+    std::vector<TraceRecord> pending;  // undelivered tail of a mid-range crack
+  };
+  Checkpoint checkpoint() const;
+  void restore(const Checkpoint& c);
+
+  /// Provenance so far (instret / completed / trap), same fields pump_range
+  /// returns.
+  RvTraceInfo info() const;
+
+ private:
+  bool refill();  // retire one instruction into pending_; false when done
+
+  const CrackedProgram* cracked_;
+  RvMachine machine_;
+  std::vector<TraceRecord> pending_;
+  std::size_t head_ = 0;  // next undelivered record within pending_
+  u64 pos_ = 0;           // stream position of pending_[head_]
+};
+
 }  // namespace hcsim::rv

@@ -6,6 +6,16 @@
 // the same program yields a bit-identical step stream every run — the
 // property the cracking layer (crack.hpp) relies on for reproducible traces.
 //
+// Two entry points share one interpreter:
+//   - execute(): run-to-completion with a per-step sink (the original API).
+//   - RvMachine: a *resumable* stepper whose full architectural state
+//     (registers, memory, pc, retired count) can be snapshotted and
+//     restored. This is what makes an RV trace producer seekable — the
+//     trace bus (src/bus) and the windowed sampler checkpoint machine
+//     state at window entries so a seek restores the nearest checkpoint
+//     instead of re-executing from the entry point (O(period), not
+//     O(begin)).
+//
 // Halting: ECALL / EBREAK retire and halt, as does a jump to the
 // return-address sentinel (ra is initialized to kRvHaltAddr, so a top-level
 // `ret` cleanly ends the program). Exceeding the step budget stops execution
@@ -16,6 +26,7 @@
 #include <array>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "rv/assembler.hpp"
 
@@ -49,9 +60,65 @@ struct RvExecResult {
   std::string error;       // nonempty on trap (bad pc/address/instruction)
 };
 
+/// Full resumable machine state: everything `restore` needs to continue a
+/// run bit-identically from where `save` left it. Memory dominates the
+/// size (ExecLimits::mem_bytes, 1MB by default) — checkpoint holders cap
+/// their count, not their interval.
+struct RvMachineState {
+  std::array<u32, 32> regs{};
+  std::vector<u8> mem;
+  u32 pc = 0;
+  u64 steps = 0;
+  bool completed = false;
+  std::string error;
+};
+
+/// Steppable RV32I interpreter. Construct once per program; `step` retires
+/// one instruction at a time. All state lives in the object, so `save` /
+/// `restore` give O(mem_bytes) checkpoints at any instruction boundary.
+class RvMachine {
+ public:
+  enum class Outcome {
+    kRetired,  // one instruction retired; `out` is valid
+    kHalted,   // clean halt (ecall/ebreak already retired, or halt sentinel)
+    kTrapped,  // error() describes the fault
+    kBudget,   // limits.max_steps retired without halting
+  };
+
+  RvMachine(const RvProgram& prog, const ExecLimits& limits = {});
+
+  /// Execute one instruction, committing its effects (registers, memory,
+  /// pc, retired count). Only kRetired fills `out`.
+  Outcome step(RvStep& out);
+
+  const std::array<u32, 32>& regs() const { return x_; }
+  u64 steps() const { return steps_; }
+  u32 pc() const { return pc_; }
+  /// True once ecall/ebreak retired or the halt sentinel was reached.
+  bool completed() const { return completed_; }
+  const std::string& error() const { return error_; }
+
+  RvMachineState save() const;
+  void restore(const RvMachineState& s);
+
+ private:
+  Outcome trap(const std::string& msg);
+
+  const RvProgram* prog_;
+  ExecLimits limits_;
+  std::vector<RvInst> code_;  // pre-decoded text (image is not self-modifying)
+  std::vector<u8> mem_;
+  std::array<u32, 32> x_{};
+  u32 pc_ = 0;
+  u64 steps_ = 0;
+  bool completed_ = false;
+  std::string error_;
+};
+
 /// Execute `prog` to completion (or until the budget/sink stops it). `sink`
 /// is invoked once per retired instruction; returning false stops execution
-/// (used by the cracker to enforce a µop budget mid-program).
+/// (used by the cracker to enforce a µop budget mid-program) — the rejected
+/// step does not count toward `steps`.
 RvExecResult execute(const RvProgram& prog, const ExecLimits& limits = {},
                      const std::function<bool(const RvStep&)>& sink = nullptr);
 

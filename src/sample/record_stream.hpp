@@ -37,7 +37,29 @@ class RecordStream {
   /// be at or after the furthest position already delivered (streams only
   /// move forward); ranges past the end of the trace are delivered short.
   virtual void feed_range(u64 begin, u64 end, const RecordSink& sink) = 0;
+
+  /// Undo forward progress so the next feed_range may start at `pos` again.
+  /// Backends with cheap repositioning override this: the materialized
+  /// trace seeks freely, and the RV kernel stream restores the nearest
+  /// executor-state checkpoint at or below `pos` (taken every
+  /// kCheckpointInterval µops while streaming). Returns false when the
+  /// backend cannot rewind — the caller reopens a fresh stream from its
+  /// factory instead (paying the O(begin) replay this method exists to
+  /// avoid). Default: not rewindable.
+  virtual bool try_rewind(u64 pos) {
+    (void)pos;
+    return false;
+  }
 };
+
+/// Forward-seek visibility (ROADMAP item 3): discarding more than this many
+/// records to reach a range's begin logs a one-shot warning via
+/// log_warn_once — the O(begin) seek cost is reported, never silent.
+inline constexpr u64 kSeekWarnThreshold = 10'000'000;
+
+/// Shared helper for forward-only backends: warn (once per stream kind) when
+/// a seek is about to discard `n_discard` records.
+void note_forward_seek(const char* backend, u64 n_discard);
 
 /// Creates an independent stream over the same trace. Factories are
 /// immutable and safe to invoke concurrently — each parallel window job

@@ -1,0 +1,123 @@
+#include "svc/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace hcsim::svc {
+
+Client Client::connect(const std::string& socket_path) {
+  Client c;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    c.error_ = "bad socket path";
+    return c;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    c.error_ = "socket() failed";
+    return c;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    c.error_ = "cannot connect to " + socket_path + " (is hcsimd running?)";
+    return c;
+  }
+  c.fd_ = fd;
+  return c;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept { *this = std::move(other); }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this == &other) return *this;
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = std::exchange(other.fd_, -1);
+  error_ = std::move(other.error_);
+  return *this;
+}
+
+bool Client::round_trip(u8 type, const std::vector<u8>& payload, u8 expect,
+                        Frame& reply, std::string& error) {
+  if (!ok()) {
+    error = error_.empty() ? "not connected" : error_;
+    return false;
+  }
+  if (!write_frame(fd_, type, payload)) {
+    error = "connection lost while sending";
+    return false;
+  }
+  std::string frame_err;
+  if (!read_frame(fd_, reply, kMaxResponseFrame, &frame_err)) {
+    error = frame_err.empty() ? "daemon closed the connection" : frame_err;
+    return false;
+  }
+  if (reply.type == kError) {
+    wire::Reader r(reply.payload.data(), reply.payload.size());
+    if (!r.get_string(error, kMaxResponseFrame)) error = "malformed error reply";
+    return false;
+  }
+  if (reply.type != expect) {
+    error = "unexpected reply type " + std::to_string(reply.type);
+    return false;
+  }
+  return true;
+}
+
+bool Client::sweep(const SweepRequest& req, SweepResponse& resp, std::string& error) {
+  std::vector<u8> payload;
+  encode(payload, req);
+  Frame reply;
+  if (!round_trip(kSweep, payload, kResult, reply, error)) return false;
+  wire::Reader r(reply.payload.data(), reply.payload.size());
+  if (!decode(r, resp)) {
+    error = "malformed result payload";
+    return false;
+  }
+  return true;
+}
+
+bool Client::list_sweeps(std::vector<std::string>& names, std::string& error) {
+  Frame reply;
+  if (!round_trip(kListSweeps, {}, kSweepList, reply, error)) return false;
+  wire::Reader r(reply.payload.data(), reply.payload.size());
+  if (!decode_sweep_list(r, names)) {
+    error = "malformed sweep list";
+    return false;
+  }
+  return true;
+}
+
+bool Client::ping(std::string& error) {
+  Frame reply;
+  return round_trip(kPing, {}, kPong, reply, error);
+}
+
+bool Client::serve_trace(const ServeTraceRequest& req, std::string& error) {
+  std::vector<u8> payload;
+  encode(payload, req);
+  Frame reply;
+  return round_trip(kServeTrace, payload, kServing, reply, error);
+}
+
+bool Client::shutdown(std::string& error) {
+  Frame reply;
+  return round_trip(kShutdown, {}, kBye, reply, error);
+}
+
+bool Client::cancel() {
+  if (!ok()) return false;
+  return write_frame(fd_, kCancel, {});
+}
+
+}  // namespace hcsim::svc

@@ -1,0 +1,48 @@
+// hcsim — client side of the hcsimd protocol (used by hcsim_sweep --connect
+// and the service tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "svc/protocol.hpp"
+
+namespace hcsim::svc {
+
+class Client {
+ public:
+  /// Connect to a daemon socket. ok() is false (with error()) on failure.
+  static Client connect(const std::string& socket_path);
+
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  const std::string& error() const { return error_; }
+  int fd() const { return fd_; }
+
+  /// Round-trips. Each returns false with `error` set on a protocol error,
+  /// daemon-side failure (kError reply), or connection loss.
+  bool sweep(const SweepRequest& req, SweepResponse& resp, std::string& error);
+  bool list_sweeps(std::vector<std::string>& names, std::string& error);
+  bool ping(std::string& error);
+  bool serve_trace(const ServeTraceRequest& req, std::string& error);
+  /// Ask the daemon to exit (waits for the kBye acknowledgement).
+  bool shutdown(std::string& error);
+  /// Fire-and-forget cancel of the daemon's in-flight job.
+  bool cancel();
+
+ private:
+  /// Send `type`+payload, then read the reply frame, unwrapping kError.
+  bool round_trip(u8 type, const std::vector<u8>& payload, u8 expect,
+                  Frame& reply, std::string& error);
+
+  int fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace hcsim::svc

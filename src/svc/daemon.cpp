@@ -1,0 +1,291 @@
+#include "svc/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bus/trace_bus.hpp"
+#include "exp/sweep.hpp"
+#include "sample/record_stream.hpp"
+#include "sim/simulator.hpp"
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+
+namespace hcsim::svc {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+/// A trace-bus producer the daemon hosts: the ring (daemon-owned, so the
+/// segment file is unlinked when the job dies) plus its serving thread.
+struct ServeJob {
+  bus::ShmRing ring;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+/// True when the client is gone (EOF/HUP) or sent kCancel. Pipelined
+/// non-cancel frames are left un-consumed for the main loop.
+bool connection_cancelled(int fd) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  const int r = ::poll(&p, 1, 0);
+  if (r < 0) return errno != EINTR;
+  if (r == 0) return false;
+  if (p.revents & (POLLERR | POLLNVAL)) return true;
+  if (!(p.revents & (POLLIN | POLLHUP))) return false;
+
+  u8 head[5];
+  const ssize_t got = ::recv(fd, head, sizeof(head), MSG_PEEK | MSG_DONTWAIT);
+  if (got == 0) return true;  // orderly EOF: client departed mid-job
+  if (got < 0) return !(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR);
+  if (got < static_cast<ssize_t>(sizeof(head))) return false;  // partial header
+  u32 len = 0;
+  std::memcpy(&len, head, sizeof(len));
+  if (len != 1 || head[4] != kCancel) return false;  // a pipelined request
+  ::recv(fd, head, sizeof(head), 0);                 // consume the cancel frame
+  return true;
+}
+
+class Daemon {
+ public:
+  explicit Daemon(const DaemonOptions& opts)
+      : opts_(opts), service_(opts.threads) {}
+
+  int run() {
+    const int listen_fd = open_socket();
+    if (listen_fd < 0) return 1;
+    std::fprintf(stderr, "hcsimd: listening on %s (%u worker threads)\n",
+                 opts_.socket_path.c_str(), service_.pool().size());
+
+    bool shutdown_requested = false;
+    while (!shutdown_requested && !g_stop.load(std::memory_order_relaxed)) {
+      pollfd p{};
+      p.fd = listen_fd;
+      p.events = POLLIN;
+      const int timeout =
+          opts_.idle_timeout_ms == 0
+              ? -1
+              : static_cast<int>(std::min<u64>(opts_.idle_timeout_ms, 1u << 30));
+      const int r = ::poll(&p, 1, timeout);
+      if (r < 0) {
+        if (errno == EINTR) continue;  // signal: loop re-checks g_stop
+        std::perror("hcsimd: poll");
+        break;
+      }
+      if (r == 0) {
+        reap_serve_jobs();
+        if (!serve_jobs_.empty()) continue;  // a consumer is still attached
+        std::fprintf(stderr, "hcsimd: idle for %llums, shutting down\n",
+                     static_cast<unsigned long long>(opts_.idle_timeout_ms));
+        break;
+      }
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        std::perror("hcsimd: accept");
+        continue;
+      }
+      shutdown_requested = handle_connection(fd);
+      ::close(fd);
+      reap_serve_jobs();
+    }
+
+    ::close(listen_fd);
+    ::unlink(opts_.socket_path.c_str());
+    release_serve_jobs();
+    std::fprintf(stderr, "hcsimd: bye\n");
+    return 0;
+  }
+
+ private:
+  int open_socket() {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+      std::fprintf(stderr, "hcsimd: socket path too long: %s\n",
+                   opts_.socket_path.c_str());
+      return -1;
+    }
+    std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+                opts_.socket_path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      std::perror("hcsimd: socket");
+      return -1;
+    }
+    ::unlink(opts_.socket_path.c_str());  // replace a stale socket file
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(fd, 16) < 0) {
+      std::perror("hcsimd: bind/listen");
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  /// Serve one client until EOF or a framing error. Returns true when the
+  /// client asked the daemon to shut down.
+  bool handle_connection(int fd) {
+    for (;;) {
+      Frame frame;
+      std::string err;
+      if (!read_frame(fd, frame, kMaxRequestFrame, &err)) {
+        // EOF (err empty) or corrupt framing: either way this byte stream
+        // is finished — but the daemon is not.
+        if (!err.empty())
+          std::fprintf(stderr, "hcsimd: dropping connection: %s\n", err.c_str());
+        return false;
+      }
+      switch (frame.type) {
+        case kSweep:
+          handle_sweep(fd, frame);
+          break;
+        case kListSweeps: {
+          std::vector<u8> payload;
+          encode_sweep_list(payload, exp::sweep_names());
+          write_frame(fd, kSweepList, payload);
+          break;
+        }
+        case kPing:
+          write_frame(fd, kPong, {});
+          break;
+        case kCancel:
+          break;  // nothing in flight: a late cancel is a no-op
+        case kShutdown:
+          write_frame(fd, kBye, {});
+          return true;
+        case kServeTrace:
+          handle_serve_trace(fd, frame);
+          break;
+        default:
+          write_error(fd, "unknown frame type " + std::to_string(frame.type));
+          break;
+      }
+    }
+  }
+
+  void handle_sweep(int fd, const Frame& frame) {
+    SweepRequest req;
+    wire::Reader r(frame.payload.data(), frame.payload.size());
+    if (!decode(r, req)) {
+      write_error(fd, "malformed sweep request");
+      return;
+    }
+    std::fprintf(stderr, "hcsimd: sweep '%s' from client\n", req.sweep.c_str());
+    SweepResponse resp;
+    std::string error;
+    const bool ok =
+        service_.run(req, [fd] { return connection_cancelled(fd); }, resp, error);
+    if (!ok) {
+      std::fprintf(stderr, "hcsimd: sweep '%s' failed: %s\n", req.sweep.c_str(),
+                   error.c_str());
+      write_error(fd, error);
+      return;
+    }
+    std::vector<u8> payload;
+    encode(payload, resp);
+    write_frame(fd, kResult, payload);
+  }
+
+  void handle_serve_trace(int fd, const Frame& frame) {
+    ServeTraceRequest req;
+    wire::Reader r(frame.payload.data(), frame.payload.size());
+    if (!decode(r, req)) {
+      write_error(fd, "malformed serve-trace request");
+      return;
+    }
+    if (req.version != kProtocolVersion) {
+      write_error(fd, "unsupported protocol version " + std::to_string(req.version));
+      return;
+    }
+    WorkloadProfile profile;
+    std::string error;
+    if (!resolve_workload(req.workload, profile, error)) {
+      write_error(fd, error);
+      return;
+    }
+    if (req.seed != 0) profile.seed = req.seed;
+    const u64 len = req.trace_len != 0 ? req.trace_len : default_trace_len();
+    const u64 cap = req.ring_capacity != 0 ? req.ring_capacity : (1u << 20);
+
+    auto job = std::make_unique<ServeJob>();
+    job->ring = bus::ShmRing::create(req.shm_path, cap);
+    if (!job->ring.valid()) {
+      write_error(fd, "cannot create shm ring: " + job->ring.error());
+      return;
+    }
+    // RV traces are seedless (the program fully determines them, seed 1 by
+    // the kernel_trace convention); generated traces carry the profile seed.
+    const u64 trace_seed = profile.rv_kernel.empty() ? profile.seed : 1;
+    ServeJob* j = job.get();
+    job->thread = std::thread([j, profile, len, trace_seed] {
+      bus::serve_trace_ranges(j->ring,
+                              sample::workload_stream_factory(profile, len),
+                              trace_seed);
+      j->done.store(true, std::memory_order_release);
+    });
+    serve_jobs_.push_back(std::move(job));
+    std::fprintf(stderr, "hcsimd: serving %s (len %llu) on %s\n",
+                 req.workload.c_str(), static_cast<unsigned long long>(len),
+                 req.shm_path.c_str());
+    write_frame(fd, kServing, {});
+  }
+
+  /// Join serving threads whose consumer departed.
+  void reap_serve_jobs() {
+    for (auto it = serve_jobs_.begin(); it != serve_jobs_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        (*it)->thread.join();
+        it = serve_jobs_.erase(it);  // ~ShmRing unlinks the segment
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Shutdown: force every producer loop to exit, then release the segments.
+  void release_serve_jobs() {
+    for (auto& job : serve_jobs_) job->ring.close_read();
+    for (auto& job : serve_jobs_) {
+      job->thread.join();
+    }
+    serve_jobs_.clear();
+  }
+
+  DaemonOptions opts_;
+  SweepService service_;
+  std::vector<std::unique_ptr<ServeJob>> serve_jobs_;
+};
+
+}  // namespace
+
+int run_daemon(const DaemonOptions& opts) {
+  if (opts.socket_path.empty()) {
+    std::fprintf(stderr, "hcsimd: --socket is required\n");
+    return 2;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  Daemon d(opts);
+  return d.run();
+}
+
+}  // namespace hcsim::svc

@@ -1,0 +1,33 @@
+// hcsim — hcsimd's listen/serve loop.
+//
+// Lifecycle (documented in docs/PROTOCOL.md):
+//   1. bind + listen on a Unix-domain socket (stale socket files are
+//      replaced);
+//   2. accept one connection at a time — sweep jobs are serialized by the
+//      SweepService anyway, and the kernel backlog queues waiting clients;
+//   3. per connection, answer frames until EOF / a framing error (semantic
+//      errors are answered with kError and the connection survives);
+//   4. exit on kShutdown, SIGINT/SIGTERM, or after `idle_timeout_ms` with no
+//      client and no live trace-bus segment. Shutdown unlinks the socket and
+//      closes + unlinks every shm segment the daemon created.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace hcsim::svc {
+
+struct DaemonOptions {
+  std::string socket_path;
+  /// Worker threads for the shared sweep pool; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Exit after this long with nothing to do; 0 = run until kShutdown or a
+  /// signal.
+  u64 idle_timeout_ms = 0;
+};
+
+/// Run the daemon until shutdown. Returns a process exit code.
+int run_daemon(const DaemonOptions& opts);
+
+}  // namespace hcsim::svc

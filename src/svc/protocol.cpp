@@ -1,0 +1,174 @@
+#include "svc/protocol.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hcsim::svc {
+
+namespace {
+
+/// recv() exactly n bytes; short only on EOF/error.
+bool read_exact(int fd, void* buf, std::size_t n) {
+  u8* p = static_cast<u8*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got > 0) {
+      p += got;
+      n -= static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    return false;  // EOF or hard error
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const u8* p = static_cast<const u8*>(buf);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a departed peer must surface as an error, not SIGPIPE.
+    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (put > 0) {
+      p += put;
+      n -= static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_frame(int fd, Frame& frame, u32 max_frame, std::string* err) {
+  if (err) err->clear();
+  u32 len = 0;
+  if (!read_exact(fd, &len, sizeof(len))) return false;  // err empty: EOF
+  if (len < 1 || len > max_frame) {
+    if (err) *err = "bad frame length " + std::to_string(len);
+    return false;
+  }
+  if (!read_exact(fd, &frame.type, 1)) {
+    if (err) *err = "frame truncated";
+    return false;
+  }
+  frame.payload.resize(len - 1);
+  if (!frame.payload.empty() &&
+      !read_exact(fd, frame.payload.data(), frame.payload.size())) {
+    if (err) *err = "frame truncated";
+    return false;
+  }
+  return true;
+}
+
+bool write_frame(int fd, u8 type, const std::vector<u8>& payload) {
+  std::vector<u8> buf;
+  buf.reserve(sizeof(u32) + 1 + payload.size());
+  wire::put_u32(buf, static_cast<u32>(1 + payload.size()));
+  wire::put_u8(buf, type);
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return write_all(fd, buf.data(), buf.size());
+}
+
+bool write_error(int fd, const std::string& msg) {
+  std::vector<u8> payload;
+  wire::put_string(payload, msg);
+  return write_frame(fd, kError, payload);
+}
+
+// --- kSweep -----------------------------------------------------------------
+
+void encode(std::vector<u8>& buf, const SweepRequest& req) {
+  wire::put_u32(buf, req.version);
+  wire::put_string(buf, req.sweep);
+  wire::put_u64(buf, req.trace_len);
+  wire::put_u32(buf, static_cast<u32>(req.seeds.size()));
+  for (u64 s : req.seeds) wire::put_u64(buf, s);
+  wire::put_u8(buf, req.sampled ? 1 : 0);
+  wire::put_u64(buf, req.warmup);
+  wire::put_u64(buf, req.measure);
+  wire::put_u64(buf, req.period);
+  wire::put_u64(buf, req.max_windows);
+  wire::put_u8(buf, req.want_csv ? 1 : 0);
+  wire::put_u8(buf, req.want_json ? 1 : 0);
+}
+
+bool decode(wire::Reader& r, SweepRequest& req) {
+  u32 n_seeds = 0;
+  u8 sampled = 0, want_csv = 0, want_json = 0;
+  if (!r.get_u32(req.version) || !r.get_string(req.sweep, 256) ||
+      !r.get_u64(req.trace_len) || !r.get_u32(n_seeds))
+    return false;
+  if (n_seeds > 4096) return false;  // corrupt count, not a real seed list
+  req.seeds.resize(n_seeds);
+  for (u32 i = 0; i < n_seeds; ++i)
+    if (!r.get_u64(req.seeds[i])) return false;
+  if (!r.get_u8(sampled) || !r.get_u64(req.warmup) || !r.get_u64(req.measure) ||
+      !r.get_u64(req.period) || !r.get_u64(req.max_windows) ||
+      !r.get_u8(want_csv) || !r.get_u8(want_json))
+    return false;
+  req.sampled = sampled != 0;
+  req.want_csv = want_csv != 0;
+  req.want_json = want_json != 0;
+  return r.remaining() == 0;
+}
+
+// --- kResult ----------------------------------------------------------------
+
+void encode(std::vector<u8>& buf, const SweepResponse& resp) {
+  wire::put_string(buf, resp.summary);
+  wire::put_string(buf, resp.csv);
+  wire::put_string(buf, resp.json);
+  wire::put_u64(buf, resp.n_points);
+  wire::put_u32(buf, resp.threads_used);
+  wire::put_u64(buf, resp.wall_ms);
+}
+
+bool decode(wire::Reader& r, SweepResponse& resp) {
+  if (!r.get_string(resp.summary, kMaxResponseFrame) ||
+      !r.get_string(resp.csv, kMaxResponseFrame) ||
+      !r.get_string(resp.json, kMaxResponseFrame) || !r.get_u64(resp.n_points) ||
+      !r.get_u32(resp.threads_used) || !r.get_u64(resp.wall_ms))
+    return false;
+  return r.remaining() == 0;
+}
+
+// --- kServeTrace ------------------------------------------------------------
+
+void encode(std::vector<u8>& buf, const ServeTraceRequest& req) {
+  wire::put_u32(buf, req.version);
+  wire::put_string(buf, req.shm_path);
+  wire::put_u64(buf, req.ring_capacity);
+  wire::put_string(buf, req.workload);
+  wire::put_u64(buf, req.seed);
+  wire::put_u64(buf, req.trace_len);
+}
+
+bool decode(wire::Reader& r, ServeTraceRequest& req) {
+  if (!r.get_u32(req.version) || !r.get_string(req.shm_path, 4096) ||
+      !r.get_u64(req.ring_capacity) || !r.get_string(req.workload, 256) ||
+      !r.get_u64(req.seed) || !r.get_u64(req.trace_len))
+    return false;
+  return r.remaining() == 0;
+}
+
+// --- kSweepList -------------------------------------------------------------
+
+void encode_sweep_list(std::vector<u8>& buf, const std::vector<std::string>& names) {
+  wire::put_u32(buf, static_cast<u32>(names.size()));
+  for (const std::string& n : names) wire::put_string(buf, n);
+}
+
+bool decode_sweep_list(wire::Reader& r, std::vector<std::string>& names) {
+  u32 n = 0;
+  if (!r.get_u32(n) || n > 4096) return false;
+  names.resize(n);
+  for (u32 i = 0; i < n; ++i)
+    if (!r.get_string(names[i], 256)) return false;
+  return r.remaining() == 0;
+}
+
+}  // namespace hcsim::svc

@@ -1,0 +1,126 @@
+// hcsim — framed Unix-socket protocol between hcsimd and its clients.
+//
+// Every message is one frame:
+//
+//   [u32 len] [u8 type] [len-1 bytes payload]
+//
+// `len` counts the type byte plus the payload, so len >= 1. Payloads use
+// the trace/wire.hpp packing (little-endian, length-prefixed strings), the
+// same encoding the trace bus and the v3 trace files use. The full schema
+// lives in docs/PROTOCOL.md.
+//
+// Error handling contract (the daemon must survive hostile clients):
+//   - semantic errors (unknown sweep, undecodable payload, unsupported
+//     version) get a kError reply and the connection stays usable;
+//   - framing errors (oversized or short frames) poison the byte stream,
+//     so the daemon closes the connection — but never exits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/wire.hpp"
+#include "util/types.hpp"
+
+namespace hcsim::svc {
+
+inline constexpr u32 kProtocolVersion = 1;
+
+/// Client -> daemon frames are small (requests carry names and scalars).
+inline constexpr u32 kMaxRequestFrame = 1u << 16;
+/// Daemon -> client frames carry whole CSV/JSON reports.
+inline constexpr u32 kMaxResponseFrame = 1u << 26;
+
+enum FrameType : u8 {
+  // client -> daemon
+  kSweep = 0x01,       // SweepRequest; answered with kResult or kError
+  kListSweeps = 0x02,  // answered with kSweepList
+  kPing = 0x03,        // answered with kPong (liveness probe)
+  kCancel = 0x04,      // cancel the in-flight job (no reply of its own)
+  kShutdown = 0x05,    // answered with kBye, then the daemon exits
+  kServeTrace = 0x06,  // ServeTraceRequest; answered with kServing or kError
+
+  // daemon -> client
+  kResult = 0x81,     // SweepResponse
+  kSweepList = 0x82,  // u32 n, then n strings
+  kPong = 0x83,
+  kBye = 0x84,
+  kError = 0x85,    // string message
+  kServing = 0x86,  // trace bus is up on the requested shm path
+};
+
+struct Frame {
+  u8 type = 0;
+  std::vector<u8> payload;
+};
+
+/// Read one frame (blocking). False on EOF, socket error, or a length
+/// outside [1, max_frame] — the stream is unusable afterwards; `err` (when
+/// non-null) distinguishes clean EOF ("") from corruption.
+bool read_frame(int fd, Frame& frame, u32 max_frame, std::string* err = nullptr);
+
+/// Write one frame (blocking, SIGPIPE-safe). False when the peer is gone.
+bool write_frame(int fd, u8 type, const std::vector<u8>& payload);
+
+/// Convenience: kError frame with a message.
+bool write_error(int fd, const std::string& msg);
+
+// --- kSweep -----------------------------------------------------------------
+
+/// One sweep job. Zero/empty fields mean "the sweep's own default", exactly
+/// like the corresponding hcsim_sweep flags.
+struct SweepRequest {
+  u32 version = kProtocolVersion;
+  std::string sweep;       // registry name (fig06, smoke, ...)
+  u64 trace_len = 0;       // 0 = spec default
+  std::vector<u64> seeds;  // empty = spec default
+  bool sampled = false;    // warm-up/measure windowed simulation
+  u64 warmup = 0;          // sample spec (meaningful when sampled)
+  u64 measure = 0;
+  u64 period = 0;
+  u64 max_windows = 0;
+  bool want_csv = false;
+  bool want_json = false;
+};
+
+void encode(std::vector<u8>& buf, const SweepRequest& req);
+bool decode(wire::Reader& r, SweepRequest& req);
+
+// --- kResult ----------------------------------------------------------------
+
+struct SweepResponse {
+  std::string summary;  // exp::render_summary text
+  std::string csv;      // empty unless requested; byte-identical to to_csv
+  std::string json;     // empty unless requested
+  u64 n_points = 0;
+  u32 threads_used = 1;
+  u64 wall_ms = 0;
+};
+
+void encode(std::vector<u8>& buf, const SweepResponse& resp);
+bool decode(wire::Reader& r, SweepResponse& resp);
+
+// --- kServeTrace ------------------------------------------------------------
+
+/// Ask the daemon to host a trace-bus producer: it creates a ShmRing at
+/// `shm_path` and runs serve_trace_ranges on it until the consumer departs
+/// (or the daemon shuts down — idle shutdown closes and unlinks every
+/// segment it owns).
+struct ServeTraceRequest {
+  u32 version = kProtocolVersion;
+  std::string shm_path;
+  u64 ring_capacity = 0;  // 0 = default (1 MiB)
+  std::string workload;   // "rv:<kernel>" or a SPEC profile name
+  u64 seed = 0;           // 0 = profile's own seed
+  u64 trace_len = 0;      // 0 = default_trace_len()
+};
+
+void encode(std::vector<u8>& buf, const ServeTraceRequest& req);
+bool decode(wire::Reader& r, ServeTraceRequest& req);
+
+// --- kSweepList -------------------------------------------------------------
+
+void encode_sweep_list(std::vector<u8>& buf, const std::vector<std::string>& names);
+bool decode_sweep_list(wire::Reader& r, std::vector<std::string>& names);
+
+}  // namespace hcsim::svc

@@ -1,0 +1,103 @@
+#include "svc/service.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "exp/report.hpp"
+#include "exp/sweep.hpp"
+#include "rv/kernels.hpp"
+#include "sample/spec.hpp"
+
+namespace hcsim::svc {
+
+SweepService::SweepService(unsigned threads)
+    : pool_(threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                         : threads) {}
+
+bool SweepService::run(const SweepRequest& req,
+                       const std::function<bool()>& cancelled, SweepResponse& resp,
+                       std::string& error) {
+  if (req.version != kProtocolVersion) {
+    error = "unsupported protocol version " + std::to_string(req.version);
+    return false;
+  }
+  auto spec = exp::find_sweep(req.sweep);
+  if (!spec) {
+    error = "unknown sweep '" + req.sweep + "'";
+    return false;
+  }
+  if (req.trace_len != 0) spec->trace_lens = {req.trace_len};
+  if (!req.seeds.empty()) {
+    for (u64 s : req.seeds)
+      if (s == 0) {
+        error = "seed 0 is not a valid explicit seed";
+        return false;
+      }
+    spec->seeds = req.seeds;
+  }
+
+  // Assemble the sample spec with the same non-fatal checks SampleSpec::
+  // validate() enforces fatally — a malformed request must not abort hcsimd.
+  sample::SampleSpec sample_spec;
+  if (req.sampled) {
+    sample_spec.warmup = req.warmup != 0 ? req.warmup : sample::kDefaultWarmup;
+    sample_spec.measure = req.measure != 0 ? req.measure : sample::kDefaultMeasure;
+    sample_spec.period = req.period;
+    sample_spec.max_windows = req.max_windows;
+    if (sample_spec.period != 0 &&
+        sample_spec.period < sample_spec.warmup + sample_spec.measure) {
+      error = "sample period smaller than warmup + measure";
+      return false;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  exp::SweepResult result;
+  {
+    std::lock_guard<std::mutex> job(job_mu_);
+    sample::set_active_sample_spec(sample_spec);
+    exp::RunOptions opts;
+    opts.pool = &pool_;
+    opts.cancelled = cancelled;
+    result = exp::run_sweep(*spec, opts);
+    sample::set_active_sample_spec(sample::SampleSpec{});
+  }
+  if (result.cancelled) {
+    error = "cancelled";
+    return false;
+  }
+
+  resp.summary = exp::render_summary(result);
+  if (req.want_csv) resp.csv = exp::to_csv(result);
+  if (req.want_json) resp.json = exp::to_json(result);
+  resp.n_points = result.points.size();
+  resp.threads_used = result.threads_used;
+  resp.wall_ms = static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return true;
+}
+
+bool resolve_workload(const std::string& name, WorkloadProfile& out,
+                      std::string& error) {
+  if (name.rfind("rv:", 0) == 0) {
+    const std::string kernel = name.substr(3);
+    if (!rv::find_kernel(kernel)) {
+      error = "unknown rv kernel '" + kernel + "'";
+      return false;
+    }
+    out = rv::rv_workload_profile(kernel);
+    return true;
+  }
+  for (const WorkloadProfile& p : spec_int_2000_profiles()) {
+    if (p.name == name) {
+      out = p;
+      return true;
+    }
+  }
+  error = "unknown workload '" + name + "' (use \"rv:<kernel>\" or a SPEC name)";
+  return false;
+}
+
+}  // namespace hcsim::svc

@@ -1,0 +1,46 @@
+// hcsim — the sweep engine behind hcsimd.
+//
+// One SweepService lives for the daemon's lifetime: it owns the process-wide
+// exp::ThreadPool every job runs on, and serializes jobs (one sweep at a
+// time, parallel *within* the sweep). Serialization is not a convenience —
+// the active sample spec and the cached-trace store are process-global, so
+// two concurrent sweeps with different sampling schedules would race. The
+// payoff of the persistent process is exactly those globals staying warm:
+// a repeated (workload, seed, len) cell reuses the cached trace instead of
+// regenerating it.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "svc/protocol.hpp"
+
+namespace hcsim::svc {
+
+class SweepService {
+ public:
+  /// `threads` sizes the shared pool; 0 = hardware concurrency.
+  explicit SweepService(unsigned threads);
+
+  /// Validate and run one request. `cancelled` is polled between points;
+  /// a cancelled run returns false with error "cancelled". Returns false
+  /// with a diagnostic for unknown sweeps, bad versions, or inconsistent
+  /// sampling parameters — never aborts on request content.
+  bool run(const SweepRequest& req, const std::function<bool()>& cancelled,
+           SweepResponse& resp, std::string& error);
+
+  exp::ThreadPool& pool() { return pool_; }
+
+ private:
+  exp::ThreadPool pool_;
+  std::mutex job_mu_;  // one sweep at a time (global sample spec + cache)
+};
+
+/// Resolve a ServeTraceRequest workload: "rv:<kernel>" or a SPEC profile
+/// name. Returns false with a diagnostic on unknown names.
+bool resolve_workload(const std::string& name, WorkloadProfile& out,
+                      std::string& error);
+
+}  // namespace hcsim::svc

@@ -1,14 +1,17 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/wire.hpp"
 
 namespace hcsim {
 namespace {
 
 constexpr u32 kMagic = 0x48435452;  // "HCTR"
-// v3: records and µops are serialized field by field (tightly packed).
+// v3: records and µops are serialized field by field (tightly packed) via
+// trace/wire.hpp — the same encoding the shared-memory trace bus carries.
 // v2 wrote whole structs, which leaked uninitialized padding bytes into the
 // file — same trace, different bytes across runs.
 constexpr u32 kVersion = 3;
@@ -20,70 +23,14 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-template <typename T>
-bool write_pod(std::FILE* f, const T& v) {
-  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+bool write_buf(std::FILE* f, const std::vector<u8>& buf) {
+  return buf.empty() || std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
 }
 
-template <typename T>
-bool read_pod(std::FILE* f, T& v) {
-  return std::fread(&v, sizeof(T), 1, f) == 1;
-}
-
-bool write_string(std::FILE* f, const std::string& s) {
-  const u32 n = static_cast<u32>(s.size());
-  return write_pod(f, n) && (n == 0 || std::fwrite(s.data(), 1, n, f) == n);
-}
-
-bool read_string(std::FILE* f, std::string& s) {
-  u32 n = 0;
-  if (!read_pod(f, n) || n > (1u << 20)) return false;
-  s.resize(n);
-  return n == 0 || std::fread(s.data(), 1, n, f) == n;
-}
-
-bool write_uop(std::FILE* f, const StaticUop& u) {
-  return write_pod(f, u.pc) && write_pod(f, static_cast<u8>(u.opcode)) &&
-         write_pod(f, u.dst) && write_pod(f, u.srcs[0]) && write_pod(f, u.srcs[1]) &&
-         write_pod(f, u.srcs[2]) && write_pod(f, static_cast<u8>(u.has_imm)) &&
-         write_pod(f, u.imm);
-}
-
-bool valid_reg(RegId r) { return r == kRegNone || r < kNumRegs; }
-
-bool read_uop(std::FILE* f, StaticUop& u) {
-  u8 opcode = 0, has_imm = 0;
-  if (!(read_pod(f, u.pc) && read_pod(f, opcode) && read_pod(f, u.dst) &&
-        read_pod(f, u.srcs[0]) && read_pod(f, u.srcs[1]) && read_pod(f, u.srcs[2]) &&
-        read_pod(f, has_imm) && read_pod(f, u.imm)))
-    return false;
-  if (opcode >= kNumOpcodes) return false;
-  // Register ids index fixed arrays downstream (pipeline register state);
-  // reject corrupt files here rather than corrupting memory there.
-  if (!valid_reg(u.dst) || !valid_reg(u.srcs[0]) || !valid_reg(u.srcs[1]) ||
-      !valid_reg(u.srcs[2]))
-    return false;
-  u.opcode = static_cast<Opcode>(opcode);
-  u.has_imm = has_imm != 0;
-  return true;
-}
-
-bool write_record(std::FILE* f, const TraceRecord& r) {
-  return write_pod(f, r.pc) && write_pod(f, r.src_vals[0]) &&
-         write_pod(f, r.src_vals[1]) && write_pod(f, r.src_vals[2]) &&
-         write_pod(f, r.result) && write_pod(f, r.flags_val) &&
-         write_pod(f, r.mem_addr) && write_pod(f, static_cast<u8>(r.taken));
-}
-
-bool read_record(std::FILE* f, TraceRecord& r) {
-  u8 taken = 0;
-  if (!(read_pod(f, r.pc) && read_pod(f, r.src_vals[0]) &&
-        read_pod(f, r.src_vals[1]) && read_pod(f, r.src_vals[2]) &&
-        read_pod(f, r.result) && read_pod(f, r.flags_val) &&
-        read_pod(f, r.mem_addr) && read_pod(f, taken)))
-    return false;
-  r.taken = taken != 0;
-  return true;
+/// Read exactly `n` bytes into `buf` (resized). False on short read.
+bool read_buf(std::FILE* f, std::vector<u8>& buf, std::size_t n) {
+  buf.resize(n);
+  return n == 0 || std::fread(buf.data(), 1, n, f) == n;
 }
 
 }  // namespace
@@ -91,51 +38,73 @@ bool read_record(std::FILE* f, TraceRecord& r) {
 bool save_trace(const Trace& trace, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return false;
-  if (!write_pod(f.get(), kMagic) || !write_pod(f.get(), kVersion)) return false;
-  if (!write_string(f.get(), trace.program.name)) return false;
-  if (!write_pod(f.get(), trace.seed)) return false;
 
-  const u32 n_static = static_cast<u32>(trace.program.uops.size());
-  if (!write_pod(f.get(), n_static)) return false;
-  for (u32 i = 0; i < n_static; ++i) {
-    if (!write_uop(f.get(), trace.program.uops[i])) return false;
-    if (!write_pod(f.get(), trace.program.branch_targets[i])) return false;
+  std::vector<u8> buf;
+  wire::put_u32(buf, kMagic);
+  wire::put_u32(buf, kVersion);
+  wire::put_program(buf, trace.program, trace.seed);
+  wire::put_u64(buf, trace.records.size());
+  if (!write_buf(f.get(), buf)) return false;
+
+  // Records stream through a bounded buffer so a 100M-µop trace never
+  // materializes a second multi-GB copy of itself.
+  constexpr std::size_t kFlushRecords = 1u << 16;
+  buf.clear();
+  buf.reserve(kFlushRecords * wire::kRecordBytes);
+  std::size_t pending = 0;
+  for (const TraceRecord& r : trace.records) {
+    wire::put_record(buf, r);
+    if (++pending == kFlushRecords) {
+      if (!write_buf(f.get(), buf)) return false;
+      buf.clear();
+      pending = 0;
+    }
   }
-
-  const u64 n_dyn = trace.records.size();
-  if (!write_pod(f.get(), n_dyn)) return false;
-  for (const TraceRecord& r : trace.records)
-    if (!write_record(f.get(), r)) return false;
-  return true;
+  return write_buf(f.get(), buf);
 }
 
 bool load_trace(Trace& trace, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return false;
-  u32 magic = 0, version = 0;
-  if (!read_pod(f.get(), magic) || magic != kMagic) return false;
-  if (!read_pod(f.get(), version) || version != kVersion) return false;
-  if (!read_string(f.get(), trace.program.name)) return false;
-  if (!read_pod(f.get(), trace.seed)) return false;
 
-  u32 n_static = 0;
-  if (!read_pod(f.get(), n_static) || n_static > (1u << 24)) return false;
-  trace.program.uops.resize(n_static);
-  trace.program.branch_targets.resize(n_static);
-  for (u32 i = 0; i < n_static; ++i) {
-    if (!read_uop(f.get(), trace.program.uops[i])) return false;
-    if (!read_pod(f.get(), trace.program.branch_targets[i])) return false;
+  // Header through the µop table: sized by a bounded fixed prefix, re-read
+  // incrementally. Simplest correct approach: slurp the whole file (traces
+  // load back only at CI sizes; paper-scale runs stream and never hit disk).
+  std::vector<u8> head;
+  if (!read_buf(f.get(), head, 2 * sizeof(u32))) return false;
+  wire::Reader header(head.data(), head.size());
+  u32 magic = 0, version = 0;
+  if (!header.get_u32(magic) || magic != kMagic) return false;
+  if (!header.get_u32(version) || version != kVersion) return false;
+
+  // Rest of the file.
+  std::vector<u8> body;
+  {
+    constexpr std::size_t kChunk = 1u << 20;
+    std::size_t used = 0;
+    for (;;) {
+      body.resize(used + kChunk);
+      const std::size_t got = std::fread(body.data() + used, 1, kChunk, f.get());
+      used += got;
+      if (got < kChunk) break;
+    }
+    body.resize(used);
   }
 
+  wire::Reader r(body.data(), body.size());
+  if (!r.get_program(trace.program, trace.seed)) return false;
+
   u64 n_dyn = 0;
-  if (!read_pod(f.get(), n_dyn) || n_dyn > (1ull << 33)) return false;
+  if (!r.get_u64(n_dyn) || n_dyn > (1ull << 33)) return false;
+  if (r.remaining() != n_dyn * wire::kRecordBytes) return false;  // truncated/overlong
   trace.records.resize(n_dyn);
-  for (TraceRecord& r : trace.records)
-    if (!read_record(f.get(), r)) return false;
+  for (TraceRecord& rec : trace.records)
+    if (!r.get_record(rec)) return false;
 
   // Validate pcs so downstream code can index without bounds checks.
-  for (const TraceRecord& r : trace.records)
-    if (r.pc >= n_static) return false;
+  const u32 n_static = static_cast<u32>(trace.program.uops.size());
+  for (const TraceRecord& rec : trace.records)
+    if (rec.pc >= n_static) return false;
   return true;
 }
 

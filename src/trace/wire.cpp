@@ -1,0 +1,119 @@
+#include "trace/wire.hpp"
+
+namespace hcsim::wire {
+
+namespace {
+
+bool valid_reg(RegId r) { return r == kRegNone || r < kNumRegs; }
+
+}  // namespace
+
+void put_string(std::vector<u8>& buf, const std::string& s) {
+  put_u32(buf, static_cast<u32>(s.size()));
+  const std::size_t off = buf.size();
+  buf.resize(off + s.size());
+  if (!s.empty()) std::memcpy(buf.data() + off, s.data(), s.size());
+}
+
+void put_uop(std::vector<u8>& buf, const StaticUop& u) {
+  put_u32(buf, u.pc);
+  put_u8(buf, static_cast<u8>(u.opcode));
+  put_u8(buf, u.dst);
+  put_u8(buf, u.srcs[0]);
+  put_u8(buf, u.srcs[1]);
+  put_u8(buf, u.srcs[2]);
+  put_u8(buf, static_cast<u8>(u.has_imm));
+  put_u32(buf, u.imm);
+}
+
+void put_record(std::vector<u8>& buf, const TraceRecord& r) {
+  put_u32(buf, r.pc);
+  put_u32(buf, r.src_vals[0]);
+  put_u32(buf, r.src_vals[1]);
+  put_u32(buf, r.src_vals[2]);
+  put_u32(buf, r.result);
+  put_u32(buf, r.flags_val);
+  put_u32(buf, r.mem_addr);
+  put_u8(buf, static_cast<u8>(r.taken));
+}
+
+void put_program(std::vector<u8>& buf, const Program& program, u64 seed) {
+  put_string(buf, program.name);
+  put_u64(buf, seed);
+  const u32 n = static_cast<u32>(program.uops.size());
+  put_u32(buf, n);
+  for (u32 i = 0; i < n; ++i) {
+    put_uop(buf, program.uops[i]);
+    put_u32(buf, program.branch_targets[i]);
+  }
+}
+
+bool Reader::get_u8(u8& v) {
+  if (remaining() < sizeof(v)) return false;
+  v = *p_++;
+  return true;
+}
+
+bool Reader::get_u32(u32& v) {
+  if (remaining() < sizeof(v)) return false;
+  std::memcpy(&v, p_, sizeof(v));
+  p_ += sizeof(v);
+  return true;
+}
+
+bool Reader::get_u64(u64& v) {
+  if (remaining() < sizeof(v)) return false;
+  std::memcpy(&v, p_, sizeof(v));
+  p_ += sizeof(v);
+  return true;
+}
+
+bool Reader::get_string(std::string& s, u32 max_len) {
+  u32 n = 0;
+  if (!get_u32(n) || n > max_len || remaining() < n) return false;
+  s.assign(reinterpret_cast<const char*>(p_), n);
+  p_ += n;
+  return true;
+}
+
+bool Reader::get_uop(StaticUop& u) {
+  u8 opcode = 0, has_imm = 0;
+  if (!(get_u32(u.pc) && get_u8(opcode) && get_u8(u.dst) && get_u8(u.srcs[0]) &&
+        get_u8(u.srcs[1]) && get_u8(u.srcs[2]) && get_u8(has_imm) && get_u32(u.imm)))
+    return false;
+  if (opcode >= kNumOpcodes) return false;
+  // Register ids index fixed arrays downstream (pipeline register state);
+  // reject corrupt buffers here rather than corrupting memory there.
+  if (!valid_reg(u.dst) || !valid_reg(u.srcs[0]) || !valid_reg(u.srcs[1]) ||
+      !valid_reg(u.srcs[2]))
+    return false;
+  u.opcode = static_cast<Opcode>(opcode);
+  u.has_imm = has_imm != 0;
+  return true;
+}
+
+bool Reader::get_record(TraceRecord& r) {
+  u8 taken = 0;
+  if (!(get_u32(r.pc) && get_u32(r.src_vals[0]) && get_u32(r.src_vals[1]) &&
+        get_u32(r.src_vals[2]) && get_u32(r.result) && get_u32(r.flags_val) &&
+        get_u32(r.mem_addr) && get_u8(taken)))
+    return false;
+  r.taken = taken != 0;
+  return true;
+}
+
+bool Reader::get_program(Program& program, u64& seed) {
+  if (!get_string(program.name)) return false;
+  if (!get_u64(seed)) return false;
+  u32 n = 0;
+  if (!get_u32(n) || n > (1u << 24)) return false;
+  program.uops.resize(n);
+  program.branch_targets.resize(n);
+  for (u32 i = 0; i < n; ++i) {
+    if (!get_uop(program.uops[i])) return false;
+    if (!get_u32(program.branch_targets[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace hcsim::wire

@@ -1,0 +1,79 @@
+// hcsim — buffer-level v3 trace wire format.
+//
+// One packed encoding of programs and trace records, shared by the file
+// serializer (trace_io.cpp) and the shared-memory trace bus (src/bus): every
+// field is written individually in little-endian order, so the bytes carry
+// no struct padding and are identical across builds and processes. The
+// Reader side is bounds-checked and validating — a truncated or corrupt
+// buffer yields `false`, never an out-of-range read or a poisoned Program.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace hcsim::wire {
+
+/// Packed v3 sizes (field-by-field, no padding).
+inline constexpr std::size_t kRecordBytes = 7 * sizeof(u32) + 1;  // 29
+inline constexpr std::size_t kUopBytes = 2 * sizeof(u32) + 6;     // 14
+
+// --- writing ----------------------------------------------------------------
+
+inline void put_u8(std::vector<u8>& buf, u8 v) { buf.push_back(v); }
+
+inline void put_u32(std::vector<u8>& buf, u32 v) {
+  const std::size_t off = buf.size();
+  buf.resize(off + sizeof(v));
+  std::memcpy(buf.data() + off, &v, sizeof(v));
+}
+
+inline void put_u64(std::vector<u8>& buf, u64 v) {
+  const std::size_t off = buf.size();
+  buf.resize(off + sizeof(v));
+  std::memcpy(buf.data() + off, &v, sizeof(v));
+}
+
+/// u32 length prefix + raw bytes (the v3 string encoding).
+void put_string(std::vector<u8>& buf, const std::string& s);
+
+void put_uop(std::vector<u8>& buf, const StaticUop& u);
+void put_record(std::vector<u8>& buf, const TraceRecord& r);
+
+/// name, seed, n_uops, then per-µop (uop, branch_target) — the v3 program
+/// section layout of save_trace.
+void put_program(std::vector<u8>& buf, const Program& program, u64 seed);
+
+// --- reading ----------------------------------------------------------------
+
+/// Bounds-checked sequential reader over a byte buffer. Every getter
+/// returns false on truncation (and on semantic violations where noted);
+/// the cursor position is unspecified after a failure.
+class Reader {
+ public:
+  Reader(const u8* data, std::size_t size) : p_(data), end_(data + size) {}
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+  bool get_u8(u8& v);
+  bool get_u32(u32& v);
+  bool get_u64(u64& v);
+  /// Rejects lengths above `max_len` (corrupt prefix, not a real string).
+  bool get_string(std::string& s, u32 max_len = 1u << 20);
+  /// Validates opcode range and register ids (they index fixed arrays
+  /// downstream) like load_trace does.
+  bool get_uop(StaticUop& u);
+  bool get_record(TraceRecord& r);
+  /// Program section; rejects corrupt µop counts. Record pcs are validated
+  /// against the program by the caller (records arrive separately).
+  bool get_program(Program& program, u64& seed);
+
+ private:
+  const u8* p_;
+  const u8* end_;
+};
+
+}  // namespace hcsim::wire

@@ -22,6 +22,14 @@ namespace hcsim {
     if (!(cond)) ::hcsim::fatal(__FILE__, __LINE__, (msg)); \
   } while (0)
 
+/// One-shot stderr warning: the first call per `key` prints and returns
+/// true, every later call is a silent no-op (returns false). Used for
+/// diagnostics that would otherwise spam a sweep — e.g. the O(begin) cost of
+/// a large forward-only stream seek (ROADMAP item 3) is reported once per
+/// process instead of once per window. Thread-safe; the returned flag lets
+/// tests observe the once-latch directly.
+bool log_warn_once(const std::string& key, const std::string& msg);
+
 /// Read an environment-variable override (used by benches and the sampling
 /// layer to scale runs without recompiling). Malformed values are fatal:
 /// an override that silently truncates ("100k" -> 100, "1e8" -> 1) or wraps

@@ -1,0 +1,340 @@
+// src/bus — shared-memory trace bus: the SPSC ring and the chunk protocol.
+//
+// Two load-bearing properties:
+//   1. The ring is a faithful byte pipe under every boundary condition —
+//      wrap-around, exactly-full, exactly-empty, and mismatched
+//      producer/consumer speeds.
+//   2. The bus is invisible to the simulator: a trace streamed from another
+//      process (or thread) produces a SimResult bit-identical to the
+//      in-process path, for both the one-shot cursor and the range-serving
+//      RecordStream modes.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bus/shm_ring.hpp"
+#include "bus/trace_bus.hpp"
+#include "core/machine_config.hpp"
+#include "rv/kernels.hpp"
+#include "sample/record_stream.hpp"
+#include "sample/windowed.hpp"
+#include "sim/simulator.hpp"
+#include "steer/steering.hpp"
+#include "trace/wire.hpp"
+
+namespace hcsim::bus {
+namespace {
+
+/// Deterministic byte pattern so corruption shows the offset, not just "ne".
+u8 pattern(u64 i) { return static_cast<u8>((i * 131) ^ (i >> 8)); }
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.uops, b.uops);
+  EXPECT_EQ(a.final_tick, b.final_tick);
+  EXPECT_EQ(a.to_wide, b.to_wide);
+  EXPECT_EQ(a.to_helper, b.to_helper);
+  EXPECT_EQ(a.copies, b.copies);
+  EXPECT_EQ(a.branches, b.branches);
+  EXPECT_EQ(a.branch_mispredicts, b.branch_mispredicts);
+  EXPECT_EQ(a.wp_fatal, b.wp_fatal);
+  EXPECT_EQ(a.nready_w2n, b.nready_w2n);
+  EXPECT_EQ(a.nready_n2w, b.nready_n2w);
+  EXPECT_EQ(a.counters.to_bag().all(), b.counters.to_bag().all());
+  EXPECT_EQ(a.dl0_hit_rate, b.dl0_hit_rate);
+  EXPECT_EQ(a.ul1_hit_rate, b.ul1_hit_rate);
+}
+
+// --- ring edge cases --------------------------------------------------------
+
+TEST(ShmRing, WrapAroundPreservesBytes) {
+  // Minimum-size (4 KiB) ring, 64 KiB of patterned data in deliberately
+  // ragged slices: every write and read straddles the wrap point many times
+  // over.
+  ShmRing ring = ShmRing::anonymous(/*capacity=*/4096);
+  ASSERT_TRUE(ring.valid());
+  constexpr u64 kTotal = 64 * 1024;
+
+  std::thread producer([&ring] {
+    std::vector<u8> buf;
+    u64 sent = 0;
+    u64 step = 1;
+    while (sent < kTotal) {
+      const u64 n = std::min(step, kTotal - sent);
+      buf.resize(n);
+      for (u64 i = 0; i < n; ++i) buf[i] = pattern(sent + i);
+      ASSERT_TRUE(ring.write(buf.data(), n));
+      sent += n;
+      step = step % 2999 + 1;  // 1..2999: up to ~3/4 of capacity
+    }
+    ring.close_write();
+  });
+
+  u64 got = 0;
+  u64 step = 5;
+  std::vector<u8> buf;
+  while (got < kTotal) {
+    const u64 n = std::min(step, kTotal - got);
+    buf.resize(n);
+    ASSERT_EQ(ring.read(buf.data(), n), n);
+    for (u64 i = 0; i < n; ++i)
+      ASSERT_EQ(buf[i], pattern(got + i)) << "byte " << got + i;
+    got += n;
+    step = step % 2767 + 1;
+  }
+  // Drained and EOF: the next read is short.
+  u8 extra = 0;
+  EXPECT_EQ(ring.read(&extra, 1), 0u);
+  producer.join();
+}
+
+TEST(ShmRing, FullAndEmptyBoundaries) {
+  ShmRing ring = ShmRing::anonymous(/*capacity=*/4096);
+  ASSERT_TRUE(ring.valid());
+  ASSERT_EQ(ring.capacity(), 4096u);  // the documented minimum
+  EXPECT_EQ(ring.readable(), 0u);
+
+  // Fill to exactly capacity: head - tail == capacity is the full state.
+  std::vector<u8> buf(4096);
+  for (u64 i = 0; i < buf.size(); ++i) buf[i] = pattern(i);
+  ASSERT_TRUE(ring.write(buf.data(), buf.size()));
+  EXPECT_EQ(ring.readable(), 4096u);
+
+  // One more byte cannot fit: with a deadline the write fails cleanly
+  // instead of blocking forever.
+  const u8 overflow = 0xAB;
+  EXPECT_FALSE(ring.write(&overflow, 1, /*deadline_ms=*/20));
+
+  std::vector<u8> out(4096);
+  ASSERT_EQ(ring.read(out.data(), out.size()), 4096u);
+  EXPECT_EQ(out, buf);
+  EXPECT_EQ(ring.readable(), 0u);
+
+  // Empty + deadline: the read times out short rather than hanging.
+  EXPECT_EQ(ring.read(out.data(), 1, /*deadline_ms=*/20), 0u);
+}
+
+TEST(ShmRing, ProducerFasterThanConsumer) {
+  ShmRing ring = ShmRing::anonymous(/*capacity=*/4096);
+  ASSERT_TRUE(ring.valid());
+  constexpr u64 kTotal = 4096;
+
+  std::thread producer([&ring] {
+    std::vector<u8> buf(64);
+    for (u64 sent = 0; sent < kTotal; sent += buf.size()) {
+      for (u64 i = 0; i < buf.size(); ++i) buf[i] = pattern(sent + i);
+      ASSERT_TRUE(ring.write(buf.data(), buf.size()));  // blocks on full
+    }
+    ring.close_write();
+  });
+
+  u64 got = 0;
+  u8 b = 0;
+  while (ring.read(&b, 1) == 1) {  // 1-byte reads: consumer is the bottleneck
+    ASSERT_EQ(b, pattern(got)) << "byte " << got;
+    ++got;
+  }
+  EXPECT_EQ(got, kTotal);
+  producer.join();
+}
+
+TEST(ShmRing, ConsumerFasterThanProducer) {
+  ShmRing ring = ShmRing::anonymous(/*capacity=*/4096);
+  ASSERT_TRUE(ring.valid());
+  constexpr u64 kTotal = 512;
+
+  std::thread producer([&ring] {
+    for (u64 i = 0; i < kTotal; ++i) {
+      const u8 b = pattern(i);
+      ASSERT_TRUE(ring.write(&b, 1));
+      if (i % 64 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ring.close_write();
+  });
+
+  // Large reads against a dribbling producer: read() blocks until the full
+  // count arrives, short only at EOF.
+  std::vector<u8> buf(kTotal);
+  ASSERT_EQ(ring.read(buf.data(), buf.size()), kTotal);
+  for (u64 i = 0; i < kTotal; ++i) ASSERT_EQ(buf[i], pattern(i)) << "byte " << i;
+  EXPECT_EQ(ring.read(buf.data(), 1), 0u);
+  producer.join();
+}
+
+TEST(ShmRing, ConsumerDepartureFailsWritesFast) {
+  ShmRing ring = ShmRing::anonymous(/*capacity=*/4096);
+  ASSERT_TRUE(ring.valid());
+  ring.close_read();
+  // Larger than capacity: would block forever on a live-but-idle consumer.
+  std::vector<u8> buf(8192, 0x55);
+  EXPECT_FALSE(ring.write(buf.data(), buf.size()));
+}
+
+TEST(ShmRing, FileBackedCreateAttachUnlink) {
+  const std::string path =
+      "/tmp/hcsim_ring_test_" + std::to_string(::getpid()) + ".shm";
+  {
+    ShmRing owner = ShmRing::create(path, 4096);
+    ASSERT_TRUE(owner.valid());
+    ShmRing peer = ShmRing::attach(path);
+    ASSERT_TRUE(peer.valid()) << peer.error();
+    EXPECT_EQ(peer.capacity(), owner.capacity());
+
+    const char msg[] = "across the mapping";
+    ASSERT_TRUE(owner.write(msg, sizeof(msg)));
+    char out[sizeof(msg)] = {};
+    ASSERT_EQ(peer.read(out, sizeof(msg)), sizeof(msg));
+    EXPECT_STREQ(out, msg);
+  }
+  // The owning end unlinked the segment on destruction.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+  ShmRing gone = ShmRing::attach(path);
+  EXPECT_FALSE(gone.valid());
+  EXPECT_FALSE(gone.error().empty());
+}
+
+// --- bus protocol edge cases --------------------------------------------------
+
+TEST(TraceBus, TruncatedFinalChunkIsAnError) {
+  ShmRing ring = ShmRing::anonymous();
+  ASSERT_TRUE(ring.valid());
+
+  const rv::KernelStream stream = rv::open_kernel_stream("crc32");
+  std::thread producer([&ring, &stream] {
+    std::vector<u8> prog;
+    wire::put_program(prog, stream.cracked.program, /*seed=*/1);
+    std::vector<u8> buf;
+    wire::put_u32(buf, kBusMagic);
+    wire::put_u32(buf, kBusVersion);
+    wire::put_u32(buf, static_cast<u32>(prog.size()));
+    buf.insert(buf.end(), prog.begin(), prog.end());
+    wire::put_u32(buf, 8);  // chunk tag promising 8 records ...
+    TraceRecord rec{};
+    wire::put_record(buf, rec);  // ... but only 1 follows
+    ASSERT_TRUE(ring.write(buf.data(), buf.size()));
+    ring.close_write();
+  });
+
+  BusReader reader(ring);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  const auto chunk = reader.next_chunk();
+  EXPECT_TRUE(chunk.empty());
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("truncated"), std::string::npos) << reader.error();
+  producer.join();
+}
+
+TEST(TraceBus, HeaderRejectsBadMagic) {
+  ShmRing ring = ShmRing::anonymous();
+  ASSERT_TRUE(ring.valid());
+  std::vector<u8> buf;
+  wire::put_u32(buf, 0xDEADBEEF);
+  wire::put_u32(buf, kBusVersion);
+  wire::put_u32(buf, 16);
+  ASSERT_TRUE(ring.write(buf.data(), buf.size()));
+  ring.close_write();
+  BusReader reader(ring);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("magic"), std::string::npos) << reader.error();
+}
+
+// --- bit-identity acceptance ---------------------------------------------------
+
+/// ISSUE 7 acceptance: an RV-kernel workload streamed over a ShmRing from a
+/// separate *process* yields a SimResult bit-identical to the in-process
+/// KernelStream path.
+TEST(TraceBus, ForkedProducerBitIdenticalToInProcess) {
+  const WorkloadProfile profile = rv::rv_workload_profile("crc32");
+  constexpr u64 kLen = 30000;
+  const MachineConfig cfg = helper_machine(steering_888_br_lr_cr());
+  const SimResult local = simulate_streamed(cfg, profile, kLen);
+
+  ShmRing ring = ShmRing::anonymous();  // MAP_SHARED: survives fork()
+  ASSERT_TRUE(ring.valid());
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: the producer process. _exit, not exit — no gtest teardown here.
+    auto src = sample::workload_stream_factory(profile, kLen)();
+    const bool complete = produce_trace(ring, *src, /*seed=*/1, kLen);
+    ::_exit(complete ? 0 : 1);
+  }
+
+  BusCursor cursor(ring);
+  ASSERT_TRUE(cursor.ok()) << cursor.error();
+  const SimResult remote = simulate(cfg, cursor);
+  EXPECT_TRUE(cursor.ok()) << cursor.error();
+  expect_identical(remote, local);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+/// Adapter so a windowed run can ride one long-lived BusRecordStream: the
+/// factory "reopens" by rewinding the shared stream to 0, which the
+/// *producer* resolves (checkpoint restore or stream reopen) on the next
+/// range request — the resumable-producer contract under test.
+class SharedBusStream final : public sample::RecordStream {
+ public:
+  explicit SharedBusStream(BusRecordStream& inner) : inner_(inner) {}
+  const Program& program() const override { return inner_.program(); }
+  void feed_range(u64 begin, u64 end, const sample::RecordSink& sink) override {
+    inner_.feed_range(begin, end, sink);
+  }
+  bool try_rewind(u64 pos) override { return inner_.try_rewind(pos); }
+
+ private:
+  BusRecordStream& inner_;
+};
+
+TEST(TraceBus, RangeServerBitIdenticalWindowedRuns) {
+  const WorkloadProfile profile = rv::rv_workload_profile("dot");
+  constexpr u64 kLen = 24000;
+  sample::SampleSpec spec;
+  spec.warmup = 500;
+  spec.measure = 1500;
+  spec.period = 4000;
+
+  const MachineConfig cfg = helper_machine(steering_ir());
+  const sample::StreamFactory local_factory =
+      sample::workload_stream_factory(profile, kLen);
+  const sample::WindowedSimulator sim(cfg, spec);
+  const sample::SampledResult local = sim.run(local_factory, kLen);
+
+  ShmRing ring = ShmRing::anonymous();
+  ASSERT_TRUE(ring.valid());
+  std::thread producer([&ring, &local_factory] {
+    serve_trace_ranges(ring, local_factory, /*seed=*/1);
+  });
+
+  BusRecordStream stream(ring);
+  ASSERT_TRUE(stream.ok()) << stream.error();
+  const sample::StreamFactory bus_factory = [&stream] {
+    EXPECT_TRUE(stream.try_rewind(0));
+    return std::make_unique<SharedBusStream>(stream);
+  };
+
+  // Twice over the same ring: the second run's first request is backward,
+  // forcing the producer through its rewind/reopen path.
+  for (int round = 0; round < 2; ++round) {
+    const sample::SampledResult remote = sim.run(bus_factory, kLen);
+    ASSERT_TRUE(stream.ok()) << stream.error();
+    EXPECT_EQ(remote.sampled, local.sampled);
+    EXPECT_EQ(remote.measured_uops, local.measured_uops);
+    ASSERT_EQ(remote.windows.size(), local.windows.size()) << "round " << round;
+    expect_identical(remote.total, local.total);
+  }
+
+  ring.close_read();  // the range server exits on consumer departure
+  producer.join();
+}
+
+}  // namespace
+}  // namespace hcsim::bus

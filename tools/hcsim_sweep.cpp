@@ -2,16 +2,25 @@
 // emit the aggregated report, optionally mirrored to CSV/JSON for plotting.
 //
 // Usage:
-//   hcsim_sweep list
+//   hcsim_sweep list                (or: hcsim_sweep --list)
 //   hcsim_sweep <sweep> [--threads N] [--len N] [--seeds s1,s2,...]
 //                       [--csv FILE] [--json FILE] [--quiet]
 //                       [--sampled] [--sample-warmup N] [--sample-measure N]
 //                       [--sample-period N] [--sample-windows N]
 //                       [--compare-full] [--max-rel-err X]
+//                       [--connect SOCK]
+//   hcsim_sweep --connect SOCK --shutdown
 //
 // sweep: fig06 fig12 cumulative edp helper_design rv smoke
 // --threads 0 uses every hardware thread; --threads 1 (default) runs
 // serially. Results are identical across thread counts.
+//
+// --connect SOCK submits the sweep to a running hcsimd over its Unix-domain
+// socket instead of simulating in-process. The daemon's CSV output is
+// byte-identical to the in-process run (CSV carries no timing metadata; the
+// JSON report embeds the daemon's wall time in its header but is otherwise
+// identical). --compare-full needs per-point data and is not available over
+// --connect; --threads is daemon-side configuration and is ignored.
 //
 // Sampling: --sampled turns on warm-up/measure windowed simulation for every
 // point (defaults warmup=20000 measure=80000, period auto ~20 windows); any
@@ -23,12 +32,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
 #include "sample/spec.hpp"
+#include "svc/client.hpp"
 
 using namespace hcsim;
 using namespace hcsim::exp;
@@ -40,16 +52,28 @@ constexpr unsigned kMaxThreads = 4096;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <sweep|list> [--threads N] [--len N] [--seeds s1,s2,...]\n"
+               "usage: %s <sweep|list|--list> [--threads N] [--len N] [--seeds s1,s2,...]\n"
                "          [--csv FILE] [--json FILE] [--quiet]\n"
                "          [--sampled] [--sample-warmup N] [--sample-measure N]\n"
                "          [--sample-period N] [--sample-windows N]\n"
                "          [--compare-full] [--max-rel-err X]\n"
+               "          [--connect SOCK] [--shutdown]\n"
                "sweeps:",
                argv0);
   for (const std::string& n : sweep_names()) std::fprintf(stderr, " %s", n.c_str());
   std::fprintf(stderr, "\n");
   return 2;
+}
+
+int print_sweep_list() {
+  for (const std::string& n : sweep_names()) {
+    const auto spec = find_sweep(n);
+    if (!spec) continue;  // unreachable: names come from the same table
+    std::printf("%-14s %3llu points (%zu apps x %zu configs)\n", n.c_str(),
+                static_cast<unsigned long long>(spec->num_points()),
+                spec->workloads.size(), spec->variants.size());
+  }
+  return 0;
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -110,26 +134,27 @@ double parse_double(const char* flag, const char* s) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
-  const std::string sweep_name = argv[1];
-  if (sweep_name == "list") {
-    for (const std::string& n : sweep_names()) {
-      const auto spec = find_sweep(n);
-      if (!spec) continue;  // unreachable: names come from the same table
-      std::printf("%-14s %3llu points (%zu apps x %zu configs)\n", n.c_str(),
-                  static_cast<unsigned long long>(spec->num_points()),
-                  spec->workloads.size(), spec->variants.size());
-    }
-    return 0;
+  std::string sweep_name;
+  int flag_start = 2;
+  if (argv[1][0] == '-') {
+    flag_start = 1;  // flag-only invocation (--list, --connect ... --shutdown)
+  } else {
+    sweep_name = argv[1];
   }
+  if (sweep_name == "list") return print_sweep_list();
 
-  auto spec = find_sweep(sweep_name);
-  if (!spec) {
-    std::fprintf(stderr, "unknown sweep '%s'\n", sweep_name.c_str());
-    return usage(argv[0]);
+  std::optional<SweepSpec> spec;
+  if (!sweep_name.empty()) {
+    spec = find_sweep(sweep_name);
+    if (!spec) {
+      std::fprintf(stderr, "unknown sweep '%s'\n", sweep_name.c_str());
+      return usage(argv[0]);
+    }
   }
 
   RunOptions opts;
-  std::string csv_path, json_path;
+  std::string csv_path, json_path, connect_path;
+  bool shutdown_daemon = false;
   bool quiet = false;
   // Sampling starts from the HCSIM_SAMPLE_* environment so CLI flags only
   // override what they name; any --sample-* flag implies --sampled.
@@ -137,7 +162,10 @@ int main(int argc, char** argv) {
   bool sampled = sample_spec.enabled();
   bool compare_full = false;
   double max_rel_err = 0.0;  // 0 = no bound enforced
-  for (int i = 2; i < argc; ++i) {
+  bool have_len = false, have_seeds = false;
+  u64 len_override = 0;
+  std::vector<u64> seed_override;
+  for (int i = flag_start; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -155,9 +183,11 @@ int main(int argc, char** argv) {
       }
       opts.threads = static_cast<unsigned>(threads);
     } else if (arg == "--len") {
-      spec->trace_lens = {parse_u64("--len", next(), /*allow_zero=*/false)};
+      len_override = parse_u64("--len", next(), /*allow_zero=*/false);
+      have_len = true;
     } else if (arg == "--seeds") {
-      spec->seeds = parse_u64_list("--seeds", next());
+      seed_override = parse_u64_list("--seeds", next());
+      have_seeds = true;
     } else if (arg == "--csv") {
       csv_path = next();
     } else if (arg == "--json") {
@@ -183,11 +213,89 @@ int main(int argc, char** argv) {
       compare_full = true;
     } else if (arg == "--max-rel-err") {
       max_rel_err = parse_double("--max-rel-err", next());
+    } else if (arg == "--connect") {
+      connect_path = next();
+    } else if (arg == "--shutdown") {
+      shutdown_daemon = true;
+    } else if (arg == "--list") {
+      return print_sweep_list();
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage(argv[0]);
     }
   }
+
+  // Remote mode: hand the sweep to a running hcsimd and print its report.
+  // The daemon's CSV/JSON is byte-identical to the in-process output, so
+  // downstream plotting scripts cannot tell the difference.
+  if (!connect_path.empty()) {
+    if (compare_full || max_rel_err > 0.0) {
+      std::fprintf(stderr,
+                   "--compare-full/--max-rel-err need per-point data and are "
+                   "not available over --connect\n");
+      return 2;
+    }
+    svc::Client client = svc::Client::connect(connect_path);
+    if (!client.ok()) {
+      std::fprintf(stderr, "%s\n", client.error().c_str());
+      return 1;
+    }
+    if (shutdown_daemon) {
+      std::string error;
+      if (!client.shutdown(error)) {
+        std::fprintf(stderr, "shutdown failed: %s\n", error.c_str());
+        return 1;
+      }
+      if (sweep_name.empty()) return 0;
+      std::fprintf(stderr, "daemon shut down; cannot also run '%s'\n",
+                   sweep_name.c_str());
+      return 2;
+    }
+    if (sweep_name.empty()) return usage(argv[0]);
+    svc::SweepRequest req;
+    req.sweep = sweep_name;
+    if (have_len) req.trace_len = len_override;
+    if (have_seeds) req.seeds = seed_override;
+    req.sampled = sampled;
+    if (sampled) {
+      req.warmup = sample_spec.warmup;
+      req.measure = sample_spec.measure;
+      req.period = sample_spec.period;
+      req.max_windows = sample_spec.max_windows;
+    }
+    req.want_csv = !csv_path.empty();
+    req.want_json = !json_path.empty();
+    svc::SweepResponse resp;
+    std::string error;
+    if (!client.sweep(req, resp, error)) {
+      std::fprintf(stderr, "sweep '%s' failed: %s\n", sweep_name.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::printf("sweep %s: %llu points, %u thread%s, %.2fs (via %s)\n",
+                sweep_name.c_str(),
+                static_cast<unsigned long long>(resp.n_points),
+                resp.threads_used, resp.threads_used == 1 ? "" : "s",
+                static_cast<double>(resp.wall_ms) / 1000.0,
+                connect_path.c_str());
+    std::printf("%s\n", resp.summary.c_str());
+    if (!csv_path.empty() && !write_file(csv_path, resp.csv)) {
+      std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
+      return 1;
+    }
+    if (!json_path.empty() && !write_file(json_path, resp.json)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (shutdown_daemon) {
+    std::fprintf(stderr, "--shutdown needs --connect SOCK\n");
+    return 2;
+  }
+  if (sweep_name.empty()) return usage(argv[0]);
+  if (have_len) spec->trace_lens = {len_override};
+  if (have_seeds) spec->seeds = seed_override;
 
   if (!quiet) {
     opts.on_point = [](const PointResult& pr, u64 done, u64 total) {

@@ -1,0 +1,73 @@
+// hcsimd — persistent simulation service.
+//
+// Keeps the process-wide trace cache and config registry warm across sweep
+// requests, runs every job on one shared thread pool, and (on request)
+// hosts trace-bus producers on shared-memory rings. Clients speak the
+// length-prefixed framed protocol of docs/PROTOCOL.md over a Unix-domain
+// socket; `hcsim_sweep --connect <sock>` is the reference client.
+//
+// Usage:
+//   hcsimd --socket PATH [--threads N] [--idle-timeout-ms N]
+//
+// --threads 0 (default) sizes the sweep pool to the hardware. With
+// --idle-timeout-ms the daemon exits by itself once it has had no client
+// and no live trace-bus segment for that long — shutdown unlinks the
+// socket and every shm segment it created.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "svc/daemon.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s --socket PATH [--threads N] [--idle-timeout-ms N]\n",
+               argv0);
+  return 2;
+}
+
+hcsim::u64 parse_u64(const char* flag, const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "%s: bad value '%s'\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hcsim::svc::DaemonOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      opts.socket_path = next();
+    } else if (arg == "--threads") {
+      const hcsim::u64 n = parse_u64("--threads", next());
+      if (n > 4096) {
+        std::fprintf(stderr, "--threads: %llu exceeds the limit of 4096\n",
+                     static_cast<unsigned long long>(n));
+        return 2;
+      }
+      opts.threads = static_cast<unsigned>(n);
+    } else if (arg == "--idle-timeout-ms") {
+      opts.idle_timeout_ms = parse_u64("--idle-timeout-ms", next());
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (opts.socket_path.empty()) return usage(argv[0]);
+  return hcsim::svc::run_daemon(opts);
+}
