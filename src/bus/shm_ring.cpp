@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <new>
@@ -46,25 +47,67 @@ std::chrono::steady_clock::time_point deadline_from_ms(u64 ms) {
   return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
 }
 
+/// A stale segment from a crashed run may sit at `path`; remove it so create
+/// can claim the name. Only a file that provably is a ring segment (regular,
+/// header-sized, correct magic) is unlinked — the path can come from an
+/// untrusted client, and create must never become a delete-anything gadget.
+bool replace_stale_segment(const std::string& path, std::string& error) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_NOFOLLOW | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return true;  // nothing to replace
+    error = "cannot inspect existing file at " + path;
+    return false;
+  }
+  struct stat st{};
+  u32 magic = 0;
+  const bool is_ring =
+      ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) &&
+      st.st_size >= static_cast<off_t>(sizeof(RingHeader)) &&
+      ::read(fd, &magic, sizeof(magic)) == static_cast<ssize_t>(sizeof(magic)) &&
+      magic == ShmRing::kMagic;
+  ::close(fd);
+  if (!is_ring) {
+    error = "refusing to replace " + path + ": not a ring segment";
+    return false;
+  }
+  if (::unlink(path.c_str()) != 0) {
+    error = "cannot unlink stale segment " + path;
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 ShmRing ShmRing::create(const std::string& path, u64 capacity) {
+  ShmRing ring;
+  if (capacity > kMaxCapacity) {
+    ring.error_ = "ring capacity too large for " + path;
+    return ring;
+  }
   capacity = round_up_pow2(capacity < 4096 ? 4096 : capacity);
   const u64 map_bytes = sizeof(RingHeader) + capacity;
 
-  ::unlink(path.c_str());  // stale segment from a crashed run
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
-  HCSIM_CHECK(fd >= 0, "ShmRing::create: cannot create " + path);
+  if (!replace_stale_segment(path, ring.error_)) return ring;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_NOFOLLOW, 0600);
+  if (fd < 0) {
+    ring.error_ = "cannot create ring segment " + path;
+    return ring;
+  }
   if (::ftruncate(fd, static_cast<off_t>(map_bytes)) != 0) {
     ::close(fd);
     ::unlink(path.c_str());
-    HCSIM_CHECK(false, "ShmRing::create: ftruncate failed for " + path);
+    ring.error_ = "ftruncate failed for " + path;
+    return ring;
   }
   void* map = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
   ::close(fd);  // the mapping keeps the file alive
-  HCSIM_CHECK(map != MAP_FAILED, "ShmRing::create: mmap failed for " + path);
+  if (map == MAP_FAILED) {
+    ::unlink(path.c_str());
+    ring.error_ = "mmap failed for " + path;
+    return ring;
+  }
 
-  ShmRing ring;
   ring.hdr_ = new (map) RingHeader();
   ring.data_ = static_cast<u8*>(map) + sizeof(RingHeader);
   ring.map_bytes_ = map_bytes;
@@ -113,6 +156,7 @@ ShmRing ShmRing::attach(const std::string& path) {
 }
 
 ShmRing ShmRing::anonymous(u64 capacity) {
+  HCSIM_CHECK(capacity <= kMaxCapacity, "ShmRing::anonymous: capacity too large");
   capacity = round_up_pow2(capacity < 4096 ? 4096 : capacity);
   const u64 map_bytes = sizeof(RingHeader) + capacity;
   void* map = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE,

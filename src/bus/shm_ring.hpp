@@ -57,10 +57,16 @@ class ShmRing {
   static constexpr u32 kMagic = 0x48435247;  // "HCRG"
   static constexpr u32 kVersion = 1;
   static constexpr u64 kDefaultCapacity = u64{1} << 20;
+  /// Upper bound on `capacity` for create/anonymous (1 GiB) — a sanity cap,
+  /// since capacities can arrive from untrusted daemon clients.
+  static constexpr u64 kMaxCapacity = u64{1} << 30;
 
   /// Create a new ring backed by `path` (unlinked when this end is
-  /// destroyed). `capacity` is rounded up to a power of two. Aborts on I/O
-  /// failure — a bus endpoint without its segment cannot do anything.
+  /// destroyed). `capacity` is rounded up to a power of two. Returns an
+  /// invalid ring (valid() == false, `error()` set) on I/O failure, an
+  /// over-cap capacity, or when `path` holds a file that is not a stale
+  /// ring segment — an existing non-ring file is never unlinked, since the
+  /// path may come from an untrusted client.
   static ShmRing create(const std::string& path, u64 capacity = kDefaultCapacity);
 
   /// Attach to a ring created by another process. Returns an invalid ring

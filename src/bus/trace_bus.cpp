@@ -43,8 +43,7 @@ struct ChunkWriter {
 
   void flush() {
     if (!alive || count == 0) return;
-    const u32 c = static_cast<u32>(count);
-    std::memcpy(buf.data(), &c, sizeof(c));
+    wire::store_u32le(buf.data(), static_cast<u32>(count));
     alive = ring.write(buf.data(), buf.size(), deadline_ms);
     count = 0;
   }
@@ -185,12 +184,13 @@ void BusReader::fail(const std::string& msg) {
 
 std::span<const TraceRecord> BusReader::next_chunk() {
   if (!ok()) return {};
-  u32 count = 0;
-  const u64 got = ring_.read(&count, sizeof(count), deadline_ms_);
-  if (got < sizeof(count)) {
+  u8 tag[sizeof(u32)];
+  const u64 got = ring_.read(tag, sizeof(tag), deadline_ms_);
+  if (got < sizeof(tag)) {
     fail(got == 0 ? "stream ended without an end marker" : "stream truncated mid-tag");
     return {};
   }
+  const u32 count = wire::load_u32le(tag);  // chunk tags use the wire byte order
   if (count == 0) return {};  // end-of-range / end-of-stream marker
   if (count > kMaxChunkRecords) {
     fail("corrupt chunk tag (" + std::to_string(count) + " records)");

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -53,11 +54,53 @@ bool connection_cancelled(int fd) {
   if (got == 0) return true;  // orderly EOF: client departed mid-job
   if (got < 0) return !(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR);
   if (got < static_cast<ssize_t>(sizeof(head))) return false;  // partial header
-  u32 len = 0;
-  std::memcpy(&len, head, sizeof(len));
+  const u32 len = wire::load_u32le(head);
   if (len != 1 || head[4] != kCancel) return false;  // a pipelined request
   ::recv(fd, head, sizeof(head), 0);                 // consume the cancel frame
   return true;
+}
+
+/// Thread-safe wrapper for the sweep's cancelled callback: run_jobs polls it
+/// from every pool worker concurrently, but connection_cancelled consumes
+/// bytes from the socket — two threads probing at once could each take the
+/// 5-byte kCancel frame and the second would steal bytes from a pipelined
+/// request. try_lock funnels the probe through one thread at a time, and the
+/// verdict latches so nothing touches the socket after cancellation.
+class CancelLatch {
+ public:
+  explicit CancelLatch(int fd) : fd_(fd) {}
+
+  bool check() {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+    if (!lock.owns_lock())  // another worker is probing right now
+      return cancelled_.load(std::memory_order_acquire);
+    if (connection_cancelled(fd_)) cancelled_.store(true, std::memory_order_release);
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const int fd_;
+  std::mutex mu_;
+  std::atomic<bool> cancelled_{false};
+};
+
+/// kServeTrace confinement: accept only a plain filename directly inside
+/// `shm_dir` — no subdirectories, no "..", no empty name. The path names a
+/// file the daemon will create (and may unlink), so anything looser hands a
+/// hostile client the daemon's filesystem permissions.
+bool shm_path_allowed(const std::string& path, const std::string& shm_dir,
+                      std::string& error) {
+  std::string dir = shm_dir;
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  const std::string prefix = dir + "/";
+  const bool inside = path.size() > prefix.size() &&
+                      path.compare(0, prefix.size(), prefix) == 0 &&
+                      path.find('/', prefix.size()) == std::string::npos &&
+                      path.find("..") == std::string::npos;
+  if (!inside)
+    error = "shm_path must be a plain filename under " + dir + "/";
+  return inside;
 }
 
 class Daemon {
@@ -138,10 +181,28 @@ class Daemon {
     return fd;
   }
 
-  /// Serve one client until EOF or a framing error. Returns true when the
-  /// client asked the daemon to shut down.
+  /// Serve one client until EOF, a framing error, or conn_idle_timeout_ms of
+  /// silence between requests (connections are served one at a time, so an
+  /// idle client must not hold the accept loop hostage). Returns true when
+  /// the client asked the daemon to shut down.
   bool handle_connection(int fd) {
     for (;;) {
+      if (opts_.conn_idle_timeout_ms != 0) {
+        pollfd p{};
+        p.fd = fd;
+        p.events = POLLIN;
+        const int timeout = static_cast<int>(
+            std::min<u64>(opts_.conn_idle_timeout_ms, 1u << 30));
+        int r;
+        do {
+          r = ::poll(&p, 1, timeout);
+        } while (r < 0 && errno == EINTR && !g_stop.load(std::memory_order_relaxed));
+        if (r == 0) {
+          std::fprintf(stderr, "hcsimd: dropping idle connection\n");
+          return false;
+        }
+        if (r <= 0) return false;  // poll error or shutdown signal
+      }
       Frame frame;
       std::string err;
       if (!read_frame(fd, frame, kMaxRequestFrame, &err)) {
@@ -189,8 +250,9 @@ class Daemon {
     std::fprintf(stderr, "hcsimd: sweep '%s' from client\n", req.sweep.c_str());
     SweepResponse resp;
     std::string error;
+    CancelLatch cancel(fd);
     const bool ok =
-        service_.run(req, [fd] { return connection_cancelled(fd); }, resp, error);
+        service_.run(req, [&cancel] { return cancel.check(); }, resp, error);
     if (!ok) {
       std::fprintf(stderr, "hcsimd: sweep '%s' failed: %s\n", req.sweep.c_str(),
                    error.c_str());
@@ -213,8 +275,16 @@ class Daemon {
       write_error(fd, "unsupported protocol version " + std::to_string(req.version));
       return;
     }
-    WorkloadProfile profile;
     std::string error;
+    if (!shm_path_allowed(req.shm_path, opts_.shm_dir, error)) {
+      write_error(fd, error);
+      return;
+    }
+    if (req.ring_capacity > bus::ShmRing::kMaxCapacity) {
+      write_error(fd, "ring_capacity exceeds the limit");
+      return;
+    }
+    WorkloadProfile profile;
     if (!resolve_workload(req.workload, profile, error)) {
       write_error(fd, error);
       return;

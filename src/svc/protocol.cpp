@@ -45,8 +45,9 @@ bool write_all(int fd, const void* buf, std::size_t n) {
 
 bool read_frame(int fd, Frame& frame, u32 max_frame, std::string* err) {
   if (err) err->clear();
-  u32 len = 0;
-  if (!read_exact(fd, &len, sizeof(len))) return false;  // err empty: EOF
+  u8 len_bytes[sizeof(u32)];
+  if (!read_exact(fd, len_bytes, sizeof(len_bytes))) return false;  // err empty: EOF
+  const u32 len = wire::load_u32le(len_bytes);  // same byte order as write_frame
   if (len < 1 || len > max_frame) {
     if (err) *err = "bad frame length " + std::to_string(len);
     return false;

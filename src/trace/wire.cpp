@@ -56,14 +56,14 @@ bool Reader::get_u8(u8& v) {
 
 bool Reader::get_u32(u32& v) {
   if (remaining() < sizeof(v)) return false;
-  std::memcpy(&v, p_, sizeof(v));
+  v = load_u32le(p_);
   p_ += sizeof(v);
   return true;
 }
 
 bool Reader::get_u64(u64& v) {
   if (remaining() < sizeof(v)) return false;
-  std::memcpy(&v, p_, sizeof(v));
+  v = load_u64le(p_);
   p_ += sizeof(v);
   return true;
 }

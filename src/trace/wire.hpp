@@ -21,6 +21,33 @@ namespace hcsim::wire {
 inline constexpr std::size_t kRecordBytes = 7 * sizeof(u32) + 1;  // 29
 inline constexpr std::size_t kUopBytes = 2 * sizeof(u32) + 6;     // 14
 
+// --- byte order -------------------------------------------------------------
+// The format is little-endian by definition. These helpers spell the byte
+// order out (instead of memcpy'ing the host representation) so the encode
+// and decode sides agree on every host; on little-endian machines they
+// compile down to plain loads and stores.
+
+inline u32 load_u32le(const u8* p) {
+  return static_cast<u32>(p[0]) | static_cast<u32>(p[1]) << 8 |
+         static_cast<u32>(p[2]) << 16 | static_cast<u32>(p[3]) << 24;
+}
+
+inline void store_u32le(u8* p, u32 v) {
+  p[0] = static_cast<u8>(v);
+  p[1] = static_cast<u8>(v >> 8);
+  p[2] = static_cast<u8>(v >> 16);
+  p[3] = static_cast<u8>(v >> 24);
+}
+
+inline u64 load_u64le(const u8* p) {
+  return static_cast<u64>(load_u32le(p)) | static_cast<u64>(load_u32le(p + 4)) << 32;
+}
+
+inline void store_u64le(u8* p, u64 v) {
+  store_u32le(p, static_cast<u32>(v));
+  store_u32le(p + 4, static_cast<u32>(v >> 32));
+}
+
 // --- writing ----------------------------------------------------------------
 
 inline void put_u8(std::vector<u8>& buf, u8 v) { buf.push_back(v); }
@@ -28,13 +55,13 @@ inline void put_u8(std::vector<u8>& buf, u8 v) { buf.push_back(v); }
 inline void put_u32(std::vector<u8>& buf, u32 v) {
   const std::size_t off = buf.size();
   buf.resize(off + sizeof(v));
-  std::memcpy(buf.data() + off, &v, sizeof(v));
+  store_u32le(buf.data() + off, v);
 }
 
 inline void put_u64(std::vector<u8>& buf, u64 v) {
   const std::size_t off = buf.size();
   buf.resize(off + sizeof(v));
-  std::memcpy(buf.data() + off, &v, sizeof(v));
+  store_u64le(buf.data() + off, v);
 }
 
 /// u32 length prefix + raw bytes (the v3 string encoding).

@@ -13,6 +13,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -174,6 +175,76 @@ TEST(ShmRing, ConsumerDepartureFailsWritesFast) {
   // Larger than capacity: would block forever on a live-but-idle consumer.
   std::vector<u8> buf(8192, 0x55);
   EXPECT_FALSE(ring.write(buf.data(), buf.size()));
+}
+
+TEST(Wire, IntegersAreLittleEndianOnEveryHost) {
+  // The v3 format (and the socket frame length prefix built on it) is
+  // little-endian by definition, not host-endian by accident.
+  std::vector<u8> buf;
+  wire::put_u32(buf, 0x01020304u);
+  EXPECT_EQ(buf, (std::vector<u8>{0x04, 0x03, 0x02, 0x01}));
+  buf.clear();
+  wire::put_u64(buf, 0x0102030405060708ull);
+  EXPECT_EQ(buf, (std::vector<u8>{0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01}));
+
+  u64 v64 = 0;
+  wire::Reader r(buf.data(), buf.size());
+  ASSERT_TRUE(r.get_u64(v64));
+  EXPECT_EQ(v64, 0x0102030405060708ull);
+  EXPECT_EQ(wire::load_u32le(buf.data()), 0x05060708u);
+}
+
+TEST(ShmRing, CreateFailureIsNonFatalAndReportsAnError) {
+  // A bad path (here: a directory that does not exist) must yield an
+  // invalid ring with a diagnostic, never a process abort — the daemon
+  // passes client-controlled paths into create().
+  ShmRing ring = ShmRing::create("/hcsim_no_such_dir/ring.shm", 4096);
+  EXPECT_FALSE(ring.valid());
+  EXPECT_FALSE(ring.error().empty());
+}
+
+TEST(ShmRing, CreateRefusesToReplaceNonRingFile) {
+  const std::string path =
+      "/tmp/hcsim_not_a_ring_" + std::to_string(::getpid()) + ".dat";
+  const std::string precious = "user data, not a ring segment";
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(precious.data(), 1, precious.size(), f), precious.size());
+    std::fclose(f);
+  }
+  ShmRing ring = ShmRing::create(path, 4096);
+  EXPECT_FALSE(ring.valid());
+  EXPECT_NE(ring.error().find("refusing"), std::string::npos) << ring.error();
+
+  // The existing file survives untouched.
+  std::string back(precious.size(), '\0');
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fread(back.data(), 1, back.size(), f), back.size());
+  std::fclose(f);
+  EXPECT_EQ(back, precious);
+  ::unlink(path.c_str());
+}
+
+TEST(ShmRing, CreateReplacesAStaleSegment) {
+  const std::string path =
+      "/tmp/hcsim_stale_ring_" + std::to_string(::getpid()) + ".shm";
+  // Fake the leftovers of a crashed run: a header-sized file carrying the
+  // ring magic.
+  {
+    std::vector<u8> stale(sizeof(RingHeader), 0);
+    std::memcpy(stale.data(), &ShmRing::kMagic, sizeof(ShmRing::kMagic));
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(stale.data(), 1, stale.size(), f), stale.size());
+    std::fclose(f);
+  }
+  {
+    ShmRing ring = ShmRing::create(path, 4096);
+    EXPECT_TRUE(ring.valid()) << ring.error();
+  }
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);  // owner unlinked it on destruction
 }
 
 TEST(ShmRing, FileBackedCreateAttachUnlink) {

@@ -15,9 +15,12 @@
 #include <thread>
 #include <vector>
 
+#include "bus/shm_ring.hpp"
+#include "bus/trace_bus.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
+#include "sample/record_stream.hpp"
 #include "svc/client.hpp"
 #include "svc/daemon.hpp"
 #include "svc/protocol.hpp"
@@ -245,11 +248,14 @@ TEST(SweepService, ResolveWorkloadNames) {
 // --- daemon -------------------------------------------------------------------
 
 /// Daemon running on a background thread for client round-trip tests.
+/// `base` overrides DaemonOptions defaults (shm_dir, timeouts); socket path
+/// and thread count are always set by the fixture.
 class DaemonFixture {
  public:
-  explicit DaemonFixture(const char* tag) : path_(test_socket_path(tag)) {
-    thread_ = std::thread([this] {
-      DaemonOptions opts;
+  explicit DaemonFixture(const char* tag, DaemonOptions base = {})
+      : path_(test_socket_path(tag)) {
+    thread_ = std::thread([this, base] {
+      DaemonOptions opts = base;
       opts.socket_path = path_;
       opts.threads = 1;
       run_daemon(opts);
@@ -376,6 +382,112 @@ TEST(Daemon, ExplicitCancelFrameAbortsTheJob) {
   EXPECT_TRUE(f.type == kError || f.type == kResult);
   std::string error;
   EXPECT_TRUE(client.ping(error)) << error;
+}
+
+TEST(Daemon, ServeTraceOutsideShmDirIsRejected) {
+  DaemonFixture daemon("shmdir");  // default shm_dir: /dev/shm
+  Client client = Client::connect(daemon.path());
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  // shm_path is client-controlled and create() may unlink its target, so
+  // anything outside the configured directory — absolute escapes, ".."
+  // traversal, subdirectories — must come back as kError, and the
+  // connection (and daemon) must survive.
+  const char* hostile[] = {"/etc/passwd", "/dev/shm/../etc/passwd",
+                           "/dev/shm/sub/ring", "/dev/shmext/ring", "relative"};
+  for (const char* path : hostile) {
+    ServeTraceRequest req;
+    req.shm_path = path;
+    req.workload = "rv:crc32";
+    std::string error;
+    EXPECT_FALSE(client.serve_trace(req, error)) << path;
+    EXPECT_NE(error.find("shm_path"), std::string::npos) << path << ": " << error;
+  }
+  std::string error;
+  EXPECT_TRUE(client.ping(error)) << error;
+}
+
+TEST(Daemon, ServeTraceCreateFailureIsAnErrorNotACrash) {
+  // A path that passes confinement but cannot be created (the directory
+  // does not exist) must produce kError — before the fix, ShmRing::create
+  // aborted the whole daemon here.
+  DaemonOptions base;
+  base.shm_dir = "/hcsim_no_such_dir";
+  DaemonFixture daemon("shmfail", base);
+  Client client = Client::connect(daemon.path());
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  ServeTraceRequest req;
+  req.shm_path = "/hcsim_no_such_dir/ring.shm";
+  req.workload = "rv:crc32";
+  std::string error;
+  EXPECT_FALSE(client.serve_trace(req, error));
+  EXPECT_NE(error.find("ring"), std::string::npos) << error;
+  EXPECT_TRUE(client.ping(error)) << error;
+}
+
+TEST(Daemon, ServeTraceStreamsRecordsBitIdenticalToLocal) {
+  DaemonOptions base;
+  base.shm_dir = "/tmp";
+  DaemonFixture daemon("serve", base);
+  Client client = Client::connect(daemon.path());
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  const std::string shm_path =
+      "/tmp/hcsimd_test_serve_" + std::to_string(::getpid()) + ".shm";
+  constexpr u64 kLen = 5000;
+  ServeTraceRequest req;
+  req.shm_path = shm_path;
+  req.workload = "rv:crc32";
+  req.trace_len = kLen;
+  std::string error;
+  ASSERT_TRUE(client.serve_trace(req, error)) << error;
+
+  // kServing means the segment exists; attach and pull a range.
+  bus::ShmRing ring = bus::ShmRing::attach(shm_path);
+  ASSERT_TRUE(ring.valid()) << ring.error();
+  bus::BusRecordStream stream(ring);
+  ASSERT_TRUE(stream.ok()) << stream.error();
+  std::vector<u8> remote;
+  stream.feed_range(0, 500, [&remote](const TraceRecord& rec) {
+    wire::put_record(remote, rec);
+  });
+  ASSERT_TRUE(stream.ok()) << stream.error();
+
+  WorkloadProfile profile;
+  ASSERT_TRUE(resolve_workload("rv:crc32", profile, error)) << error;
+  auto local_stream = sample::workload_stream_factory(profile, kLen)();
+  std::vector<u8> local;
+  local_stream->feed_range(0, 500, [&local](const TraceRecord& rec) {
+    wire::put_record(local, rec);
+  });
+  EXPECT_EQ(remote, local);
+
+  // Departing consumer: the daemon reaps the producer and stays serviceable.
+  ring.close_read();
+  EXPECT_TRUE(client.ping(error)) << error;
+}
+
+TEST(Daemon, IdleConnectionIsDroppedInsteadOfStarvingOthers) {
+  DaemonOptions base;
+  base.conn_idle_timeout_ms = 100;
+  DaemonFixture daemon("idle", base);
+
+  // First client connects and goes silent — never sends a frame, never
+  // closes. Connections are served one at a time, so before the bounded
+  // idle wait this parked the daemon forever.
+  Client idler = Client::connect(daemon.path());
+  ASSERT_TRUE(idler.ok()) << idler.error();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Second client must still get service once the idler is dropped.
+  Client active = Client::connect(daemon.path());
+  ASSERT_TRUE(active.ok()) << active.error();
+  std::string error;
+  EXPECT_TRUE(active.ping(error)) << error;
+
+  // The idler's connection was closed by the daemon.
+  EXPECT_FALSE(idler.ping(error));
 }
 
 }  // namespace

@@ -8,11 +8,16 @@
 //
 // Usage:
 //   hcsimd --socket PATH [--threads N] [--idle-timeout-ms N]
+//          [--conn-idle-timeout-ms N] [--shm-dir DIR]
 //
 // --threads 0 (default) sizes the sweep pool to the hardware. With
 // --idle-timeout-ms the daemon exits by itself once it has had no client
 // and no live trace-bus segment for that long — shutdown unlinks the
-// socket and every shm segment it created.
+// socket and every shm segment it created. --conn-idle-timeout-ms (default
+// 60000, 0 = off) drops a connection that sends nothing for that long so an
+// idle client cannot starve waiting ones. --shm-dir (default /dev/shm)
+// confines kServeTrace ring segments: requests naming a path outside it are
+// answered with kError.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,7 +28,9 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s --socket PATH [--threads N] [--idle-timeout-ms N]\n",
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--threads N] [--idle-timeout-ms N]\n"
+               "       [--conn-idle-timeout-ms N] [--shm-dir DIR]\n",
                argv0);
   return 2;
 }
@@ -63,6 +70,10 @@ int main(int argc, char** argv) {
       opts.threads = static_cast<unsigned>(n);
     } else if (arg == "--idle-timeout-ms") {
       opts.idle_timeout_ms = parse_u64("--idle-timeout-ms", next());
+    } else if (arg == "--conn-idle-timeout-ms") {
+      opts.conn_idle_timeout_ms = parse_u64("--conn-idle-timeout-ms", next());
+    } else if (arg == "--shm-dir") {
+      opts.shm_dir = next();
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage(argv[0]);
