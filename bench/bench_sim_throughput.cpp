@@ -3,6 +3,9 @@
 // repository's own performance, not a paper figure.
 #include <benchmark/benchmark.h>
 
+#include <span>
+
+#include "bbcache/bb_cache.hpp"
 #include "predict/width_predictor.hpp"
 #include "sample/spec.hpp"
 #include "sample/windowed.hpp"
@@ -33,6 +36,40 @@ void BM_PipelineBaseline(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_PipelineBaseline)->Arg(10000)->Arg(100000);
+
+void BM_PipelineBatched(benchmark::State& state) {
+  // The intended hot path: a decode cache shared across runs (as the sweep
+  // drivers share it across a config's workloads) + the batched SoA feed.
+  // After the first iteration every template replays from the cache.
+  const Trace& t = cached_trace(spec_profile("gcc"), static_cast<u64>(state.range(0)));
+  const MachineConfig cfg = monolithic_baseline();
+  DecodeCache cache(/*enabled=*/true);
+  for (auto _ : state) {
+    Pipeline p(cfg, t.program, &cache);
+    p.feed(std::span<const TraceRecord>(t.records));
+    SimResult r = p.finish();
+    benchmark::DoNotOptimize(r.final_tick);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PipelineBatched)->Arg(10000)->Arg(100000);
+
+void BM_PipelineBatchedNoCache(benchmark::State& state) {
+  // Cache-disabled twin of BM_PipelineBatched: identical feed path, but
+  // every record re-cracks its template (the HCSIM_BBCACHE=0 debug mode).
+  // The gap between the two is the decode cache's contribution alone.
+  const Trace& t = cached_trace(spec_profile("gcc"), static_cast<u64>(state.range(0)));
+  const MachineConfig cfg = monolithic_baseline();
+  DecodeCache cache(/*enabled=*/false);
+  for (auto _ : state) {
+    Pipeline p(cfg, t.program, &cache);
+    p.feed(std::span<const TraceRecord>(t.records));
+    SimResult r = p.finish();
+    benchmark::DoNotOptimize(r.final_tick);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PipelineBatchedNoCache)->Arg(10000)->Arg(100000);
 
 void BM_PipelineHelperIr(benchmark::State& state) {
   const Trace& t = cached_trace(spec_profile("gcc"), static_cast<u64>(state.range(0)));

@@ -41,8 +41,12 @@ namespace hcsim::bus {
 inline constexpr u32 kBusMagic = 0x48434254;  // "HCBT"
 inline constexpr u32 kBusVersion = 1;
 /// Upper bound a consumer accepts for one chunk's record count (guards the
-/// allocation against a corrupt tag).
-inline constexpr u32 kMaxChunkRecords = 1u << 16;
+/// allocation against a corrupt tag). Tied to the process-wide trace chunk
+/// granularity so bus chunks never exceed what the pipeline's batched feed
+/// and the cursors stage at once.
+inline constexpr u32 kMaxChunkRecords = static_cast<u32>(kTraceChunkRecords);
+static_assert(kMaxChunkRecords == kTraceChunkRecords,
+              "shm chunk tag width must cover the shared trace chunk size");
 /// Upper bound on the serialized program section.
 inline constexpr u32 kMaxProgramBytes = 1u << 26;
 

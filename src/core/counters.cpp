@@ -8,6 +8,9 @@ namespace {
 
 /// Parallel to enum class Counter (counters.hpp) — same order.
 constexpr std::string_view kCounterNames[kNumCounters] = {
+    "bb_cache_hits",
+    "bb_cache_invalidations",
+    "bb_cache_misses",
     "block_splits",
     "chunk_rename_slots",
     "committed",

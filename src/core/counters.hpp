@@ -18,6 +18,9 @@ namespace hcsim {
 /// Every raw event the pipeline counts. Keep in sync with kCounterNames in
 /// counters.cpp (same order); names are the stable external identifiers.
 enum class Counter : u8 {
+  kBbCacheHits,           // decode cache: template replayed from a prior crack
+  kBbCacheInvalidations,  // decode cache: templates dropped by a rebind
+  kBbCacheMisses,         // decode cache: first encounter, template built
   kBlockSplits,       // IR block mode: splits joined without a trigger
   kChunkRenameSlots,  // extra rename slots consumed by IR chunks
   kCommitted,         // µops committed

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/log.hpp"
 #include "util/narrow.hpp"
@@ -10,21 +11,6 @@ namespace hcsim {
 // ---------------------------------------------------------------------------
 // Internal state types
 // ---------------------------------------------------------------------------
-
-/// Program-order view of one architectural register: where its current value
-/// lives (per backend), when it becomes readable there, its actual and
-/// predicted widths, and the producing µop (for CP training and the BR rule).
-struct Pipeline::RegState {
-  std::array<Tick, kNumBackends> avail = {0, 0, 0};
-  std::array<bool, kNumBackends> present = {true, true, true};
-  bool value_narrow = true;   // actual width of the current value
-  bool pred_narrow = true;    // width the producer's predictor announced
-  Tick known_at = 0;          // when the actual width becomes architecturally known
-  u32 producer_pc = ~0u;
-  SeqNum producer_seq = kSeqNone;
-  unsigned producer_cluster = kWideIdx;
-  bool prefetched = false;    // a CP prefetch put the value in the other cluster
-};
 
 /// CP training window entry: producers wait here until they age out of the
 /// pipeline, at which point the copy predictor learns whether this instance
@@ -37,33 +23,12 @@ struct Pipeline::CpTrainEntry {
   bool valid = false;
 };
 
-namespace {
-
-constexpr bool cr_eligible_opcode(Opcode op) {
-  // The CR scheme relies on the carry signal, so only additive address/value
-  // arithmetic and memory address generation qualify; mul/div are explicitly
-  // ineligible (Section 3.5).
-  switch (op) {
-    case Opcode::kAdd:
-    case Opcode::kSub:
-    case Opcode::kLea:
-    case Opcode::kLoad:
-    case Opcode::kLoadByte:
-    case Opcode::kStore:
-    case Opcode::kStoreByte:
-      return true;
-    default:
-      return false;
-  }
-}
-
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // Construction
 // ---------------------------------------------------------------------------
 
-Pipeline::Pipeline(const MachineConfig& cfg, const Program& program)
+Pipeline::Pipeline(const MachineConfig& cfg, const Program& program,
+                   DecodeCache* shared_cache)
     : cfg_(cfg),
       program_(program),
       policy_(cfg.steer),
@@ -72,6 +37,7 @@ Pipeline::Pipeline(const MachineConfig& cfg, const Program& program)
       memsys_(cfg.mem),
       fetch_slots_(cfg.fetch_width, cfg.ticks_per_wide_cycle),
       rename_slots_(cfg.rename_width, cfg.ticks_per_wide_cycle),
+      rename_mono_slots_(cfg.rename_width, cfg.ticks_per_wide_cycle),
       commit_slots_(cfg.commit_width, cfg.ticks_per_wide_cycle) {
   issue_slots_[kWideIdx] =
       std::make_unique<SlotSchedule>(cfg.issue_wide, cfg.ticks_per_wide_cycle);
@@ -89,6 +55,30 @@ Pipeline::Pipeline(const MachineConfig& cfg, const Program& program)
   cp_window_.assign(2 * cfg.rob_entries, CpTrainEntry{});
   res_.workload = program.name;
   res_.config = cfg.steer.describe();
+
+  frontend_ticks_ = cfg.frontend_depth * wide_ticks();
+  width_bits_ = cfg.helper_width_bits;
+  wt_pow2_ = std::has_single_bit(static_cast<u64>(wide_ticks()));
+  wt_shift_ = static_cast<unsigned>(std::countr_zero(static_cast<u64>(wide_ticks())));
+  // decide() consults issue-queue occupancy only for the IR imbalance
+  // trigger and the balance throttle; skipping the occupancy probes
+  // otherwise is output-invisible because QueueTracker's lazy drain is
+  // monotonic — any later query drains at least as far.
+  needs_occ_ = cfg.steer.helper_enabled && (cfg.steer.ir || cfg.steer.balance_throttle);
+  cr_on_ = cfg.steer.cr;
+  lr_on_ = cfg.steer.lr;
+  cp_on_ = cfg.steer.cp;
+  ir_block_on_ = cfg.steer.ir_block;
+  // Out-of-band rename reserves (split, flush refill) exist only with the
+  // helper on; without it every reserve is clamped to the previous one.
+  rename_mono_ = !cfg.steer.helper_enabled;
+
+  cache_ = shared_cache ? shared_cache : &own_cache_;
+  cache_on_ = cache_->enabled();
+  if (cache_on_) {
+    res_.counters[Counter::kBbCacheInvalidations] +=
+        cache_->bind(program, cfg.steer, cfg.helper_width_bits);
+  }
 }
 
 Pipeline::~Pipeline() = default;
@@ -116,26 +106,27 @@ Tick Pipeline::schedule_copy(unsigned from, unsigned to, Tick request_tick,
   return done;
 }
 
-Tick Pipeline::acquire_value(RegId r, unsigned cluster, Tick dispatch_tick) {
-  RegState& st = (*regs_)[r];
-  if (st.present[cluster]) {
-    if (st.prefetched && st.producer_cluster != cluster) {
-      // The value got here ahead of demand thanks to a CP prefetch.
-      ++res_.cp_useful;
-      st.prefetched = false;
-      if (st.producer_seq != kSeqNone) {
-        CpTrainEntry& e = cp_window_[st.producer_seq % cp_window_.size()];
-        if (e.valid && e.seq == st.producer_seq) e.prefetch_used = true;
-      }
-    }
-    return st.avail[cluster];
+Tick Pipeline::acquire_prefetched(RegState& st, unsigned cluster) {
+  // The value got here ahead of demand thanks to a CP prefetch.
+  ++res_.cp_useful;
+  st.prefetched = false;
+  if (st.producer_seq != kSeqNone) {
+    CpTrainEntry& e = cp_window_[st.producer_seq % cp_window_.size()];
+    if (e.valid && e.seq == st.producer_seq) e.prefetch_used = true;
   }
+  return st.avail[cluster];
+}
+
+Tick Pipeline::acquire_demand_copy(RegState& st, unsigned cluster,
+                                   Tick dispatch_tick) {
   const unsigned from = st.producer_cluster;
   const Tick avail = schedule_copy(from, cluster, dispatch_tick, st.avail[from]);
   st.present[cluster] = true;
   st.avail[cluster] = avail;
   if (avail > dispatch_tick) res_.copy_wait.add(avail - dispatch_tick);
-  if (st.producer_seq != kSeqNone) {
+  // The CP training-window entry only exists (and only matters) when the
+  // copy-prefetch scheme maintains the window.
+  if (cp_on_ && st.producer_seq != kSeqNone) {
     CpTrainEntry& e = cp_window_[st.producer_seq % cp_window_.size()];
     if (e.valid && e.seq == st.producer_seq) e.copied = true;
   }
@@ -179,7 +170,11 @@ void Pipeline::train_cp_window(SeqNum upto_seq) {
 Tick Pipeline::memory_access(SeqNum seq, u32 addr, bool is_store, bool,
                              Tick agu_done) {
   const Tick wt = wide_ticks();
-  const u64 agu_cycle = (agu_done + wt - 1) / wt;
+  // Runs for every load/store; the tick→wide-cycle ceil-division is a shift
+  // for the power-of-two clock ratios (1, 2, 4 — everything but the ratio
+  // ablation's 3).
+  const u64 agu_up = agu_done + wt - 1;
+  const u64 agu_cycle = wt_pow2_ ? (agu_up >> wt_shift_) : (agu_up / wt);
   if (is_store) {
     mob_.add_store(seq, addr, agu_done);
     // The store's cache access happens post-commit; charge the hierarchy now
@@ -228,117 +223,148 @@ void Pipeline::account_nready(unsigned cluster, bool eligible_other, Tick ready,
 // Main loop
 // ---------------------------------------------------------------------------
 
-void Pipeline::feed(const TraceRecord& rec) {
+void Pipeline::feed_record(const TraceRecord& rec, const UopTemplate& t,
+                           bool result_narrow, u8 src_lanes) {
   const Tick wt = wide_ticks();
-  const StaticUop& su = program_.uops[rec.pc];
-  const OpcodeInfo& info = opcode_info(su.opcode);
   const SeqNum seq = next_seq_++;
+
+  // Once-per-µop unconditional counters (kFetched, kWpredLookups,
+  // kCommitted, uops) are bumped en bloc by the feed() overloads.
 
   // ----- fetch (trace cache, wide clock) --------------------------------
   const Tick fetch = fetch_slots_.reserve(std::max(fetch_barrier_, last_fetch_));
   last_fetch_ = fetch;
-  res_.counters[Counter::kFetched]++;
 
   // ----- rename/dispatch --------------------------------------------------
-  Tick rename_ready = fetch + cfg_.frontend_depth * wt;
-  rename_ready = std::max(rename_ready, rob_commit_[seq % cfg_.rob_entries]);
+  Tick rename_ready = fetch + frontend_ticks_;
+  rename_ready = std::max(rename_ready, rob_commit_[rob_pos_]);
   rename_ready = std::max(rename_ready, dispatch_backpressure_);
-  const Tick disp = rename_slots_.reserve(std::max(rename_ready, last_dispatch_));
+  rename_ready = std::max(rename_ready, last_dispatch_);
+  const Tick disp = rename_mono_ ? rename_mono_slots_.reserve(rename_ready)
+                                 : rename_slots_.reserve(rename_ready);
   last_dispatch_ = disp;
 
-  // ----- steering context -------------------------------------------------
-  SteerContext ctx;
-  ctx.uop = &su;
-  ctx.helper_capable = info.helper_capable;
-  ctx.frontend_resolvable = su.opcode == Opcode::kBranchCond;
+  const bool tracked = t.tracked;
+  // The paper's machine performs a width-table lookup for every µop (the
+  // counter reflects that), but the prediction is only *consumed* for
+  // tracked µops or when the full steering ladder runs — predict_result is
+  // const, so eliding the dead table read is output-invisible.
+  const WidthPredictor::Prediction rp = (tracked || !t.static_wide)
+                                            ? wpred_.predict_result(rec.pc)
+                                            : WidthPredictor::Prediction{};
 
-  bool all_srcs_narrow = true;
-  unsigned wide_srcs = 0;
+  // ----- actual widths (used for misprediction detection + training) -----
+  // Folded from the precomputed value lanes against the template's operand
+  // masks instead of re-walking the operand array per record.
+  const bool result_narrow_actual = t.has_dst ? result_narrow : true;
+  const bool srcs_narrow_actual =
+      (src_lanes & t.width_lane_mask) == t.width_lane_mask && t.imm_narrow;
+
+  // ----- steering ---------------------------------------------------------
+  SteerDecision decision = SteerDecision::kWide;
+  bool cr_shape = false;
   u32 wide_src_val = 0;
-  bool have_narrow_src = false;
-  for (unsigned k = 0; k < kMaxSrcs; ++k) {
-    const RegId r = su.srcs[k];
-    if (r == kRegNone) continue;
-    const RegState& st = (*regs_)[r];
-    // Paper Section 3.2: the actual width is used if the producer already
-    // wrote back; otherwise the rename-table width bit (prediction).
-    const bool narrow = is_flags(r) ? true
-                        : (st.known_at <= disp ? st.value_narrow : st.pred_narrow);
-    if (!narrow) {
-      ++wide_srcs;
-      wide_src_val = rec.src_vals[k];
-    } else if (!is_flags(r)) {
-      have_narrow_src = true;
+
+  if (!t.static_wide) {
+    SteerContext ctx;
+    ctx.uop = t.uop;
+    ctx.helper_capable = t.helper_capable;
+    ctx.frontend_resolvable = t.is_branch_cond;
+
+    bool all_srcs_narrow = true;
+    unsigned wide_srcs = 0;
+    bool have_narrow_src = false;
+    for (u8 j = 0; j < t.n_width_srcs; ++j) {
+      const RegState& st = (*regs_)[t.width_srcs[j]];
+      // Paper Section 3.2: the actual width is used if the producer already
+      // wrote back; otherwise the rename-table width bit (prediction).
+      const bool narrow = st.known_at <= disp ? st.value_narrow : st.pred_narrow;
+      if (!narrow) {
+        ++wide_srcs;
+        wide_src_val = rec.src_vals[t.width_lane[j]];
+      } else {
+        have_narrow_src = true;
+      }
+      all_srcs_narrow = all_srcs_narrow && narrow;
     }
-    all_srcs_narrow = all_srcs_narrow && narrow;
-  }
-  if (su.has_imm) {
-    const bool narrow_imm = is_narrow(su.imm, cfg_.helper_width_bits);
-    all_srcs_narrow = all_srcs_narrow && narrow_imm;
-    if (narrow_imm) {
-      have_narrow_src = true;
-    } else {
-      ++wide_srcs;
-      wide_src_val = su.imm;
+    if (t.has_imm) {
+      all_srcs_narrow = all_srcs_narrow && t.imm_narrow;
+      if (t.imm_narrow) {
+        have_narrow_src = true;
+      } else {
+        ++wide_srcs;
+        wide_src_val = t.imm;
+      }
     }
+    ctx.all_srcs_narrow = all_srcs_narrow;
+    ctx.result_pred_narrow = rp.narrow;
+    ctx.result_confident = rp.confident;
+
+    // CR shape: exactly one wide source, at least one narrow, additive op,
+    // result expected wide (Section 3.5's 8-32-32 pattern). Only consulted
+    // (and only trained) when the CR scheme is configured.
+    if (t.wants_cr) {
+      ctx.cr_shape = wide_srcs == 1 && have_narrow_src && (!tracked || !rp.narrow);
+      if (ctx.cr_shape) {
+        const WidthPredictor::Prediction cp = wpred_.predict_carry(rec.pc);
+        ctx.carry_pred_confined = cp.narrow;
+        ctx.carry_confident = cp.confident;
+      }
+      cr_shape = ctx.cr_shape;
+    }
+
+    if (t.reads_flags) {
+      ctx.flags_producer_in_helper =
+          (*regs_)[kRegFlags].producer_cluster == kHelperIdx;
+    }
+    if (needs_occ_) {
+      ctx.iq_occ_wide = queues_[kWideIdx]->occupancy(disp);
+      ctx.iq_occ_helper = queues_[kHelperIdx]->occupancy(disp);
+      ctx.iq_size_wide = cfg_.iq_wide;
+      ctx.iq_size_helper = cfg_.iq_helper;
+    }
+
+    decision = policy_.decide(ctx);
+  } else if (t.wants_cr) {
+    // Memoized kWide verdict, but a CR-eligible opcode under a CR config
+    // still trains the carry predictor (its table entries alias by PC, so
+    // skipping the training would perturb other µops' carry predictions).
+    unsigned wide_srcs = 0;
+    bool have_narrow_src = false;
+    for (u8 j = 0; j < t.n_width_srcs; ++j) {
+      const RegState& st = (*regs_)[t.width_srcs[j]];
+      const bool narrow = st.known_at <= disp ? st.value_narrow : st.pred_narrow;
+      if (!narrow) {
+        ++wide_srcs;
+        wide_src_val = rec.src_vals[t.width_lane[j]];
+      } else {
+        have_narrow_src = true;
+      }
+    }
+    if (t.has_imm) {
+      if (t.imm_narrow) {
+        have_narrow_src = true;
+      } else {
+        ++wide_srcs;
+        wide_src_val = t.imm;
+      }
+    }
+    cr_shape = wide_srcs == 1 && have_narrow_src && (!tracked || !rp.narrow);
   }
-  ctx.all_srcs_narrow = all_srcs_narrow;
-
-  const bool tracked = info.width_tracked && su.has_dst();
-  const WidthPredictor::Prediction rp = wpred_.predict_result(rec.pc);
-  ctx.result_pred_narrow = rp.narrow;
-  ctx.result_confident = rp.confident;
-  res_.counters[Counter::kWpredLookups]++;
-
-  // CR shape: exactly one wide source, at least one narrow, additive op,
-  // result expected wide (Section 3.5's 8-32-32 pattern).
-  ctx.cr_shape = cr_eligible_opcode(su.opcode) && wide_srcs == 1 && have_narrow_src &&
-                 (!tracked || !rp.narrow);
-  if (ctx.cr_shape) {
-    const WidthPredictor::Prediction cp = wpred_.predict_carry(rec.pc);
-    ctx.carry_pred_confined = cp.narrow;
-    ctx.carry_confident = cp.confident;
-  }
-
-  if (su.reads_flags()) {
-    ctx.flags_producer_in_helper =
-        (*regs_)[kRegFlags].producer_cluster == kHelperIdx;
-  }
-  ctx.iq_occ_wide = queues_[kWideIdx]->occupancy(disp);
-  ctx.iq_occ_helper = queues_[kHelperIdx]->occupancy(disp);
-  ctx.iq_size_wide = cfg_.iq_wide;
-  ctx.iq_size_helper = cfg_.iq_helper;
-
-  SteerDecision decision = policy_.decide(ctx);
 
   // Block-granularity splitting (Section 3.7's proposed extension): a
   // triggered split opens a block; subsequent splittable µops follow it
   // into the helper so intra-block dataflow never crosses the clusters.
-  if (cfg_.steer.ir_block) {
-    const bool splittable = info.helper_capable &&
-                            info.op_class == OpClass::kIntAlu &&
-                            !is_branch(su.opcode);
+  if (ir_block_on_) {
     if (decision == SteerDecision::kSplit) {
       block_split_remaining_ = cfg_.steer.ir_block_len;
-    } else if (block_split_remaining_ > 0 && splittable &&
+    } else if (block_split_remaining_ > 0 && t.splittable &&
                decision == SteerDecision::kWide) {
       decision = SteerDecision::kSplit;
       res_.counters[Counter::kBlockSplits]++;
     }
     if (block_split_remaining_ > 0) --block_split_remaining_;
   }
-
-  // ----- actual widths (used for misprediction detection + training) -----
-  const bool result_narrow_actual =
-      su.has_dst() ? is_narrow(rec.result, cfg_.helper_width_bits) : true;
-  bool srcs_narrow_actual = true;
-  for (unsigned k = 0; k < kMaxSrcs; ++k) {
-    if (su.srcs[k] == kRegNone || is_flags(su.srcs[k])) continue;
-    srcs_narrow_actual =
-        srcs_narrow_actual && is_narrow(rec.src_vals[k], cfg_.helper_width_bits);
-  }
-  if (su.has_imm)
-    srcs_narrow_actual = srcs_narrow_actual && is_narrow(su.imm, cfg_.helper_width_bits);
 
   // ----- execution helper --------------------------------------------------
   // Runs the µop in `cluster` starting no earlier than `from_tick`;
@@ -348,11 +374,8 @@ void Pipeline::feed(const TraceRecord& rec) {
   };
   auto exec_in = [&](unsigned cluster, Tick from_tick) -> ExecTimes {
     Tick src_ready = from_tick;
-    for (unsigned k = 0; k < kMaxSrcs; ++k) {
-      const RegId r = su.srcs[k];
-      if (r == kRegNone) continue;
-      src_ready = std::max(src_ready, acquire_value(r, cluster, from_tick));
-    }
+    for (u8 j = 0; j < t.n_srcs; ++j)
+      src_ready = std::max(src_ready, acquire_value(t.srcs[j], cluster, from_tick));
     const Tick qdisp = queues_[cluster]->earliest_dispatch(from_tick);
     // Dispatch is in order: a full issue queue backpressures the frontend
     // for younger µops as well.
@@ -365,12 +388,12 @@ void Pipeline::feed(const TraceRecord& rec) {
                                         : Counter::kIssueWide]++;
 
     Tick complete;
-    if (is_memory(su.opcode)) {
+    if (t.is_mem) {
       const Tick agu_done = issue + cycle_ticks(cluster);
-      complete = memory_access(seq, rec.mem_addr, is_store(su.opcode),
-                               su.opcode == Opcode::kLoadByte, agu_done);
+      complete = memory_access(seq, rec.mem_addr, t.is_store_op, t.is_load_byte,
+                               agu_done);
     } else {
-      complete = issue + info.latency_wide * cycle_ticks(cluster);
+      complete = issue + t.latency_wide * cycle_ticks(cluster);
     }
     return ExecTimes{ready, issue, complete};
   };
@@ -378,9 +401,11 @@ void Pipeline::feed(const TraceRecord& rec) {
   // Actual carry confinement for CR candidates: the operation's output
   // (result, or effective address for memory ops) must agree with the wide
   // source on everything above the helper width (Figure 10's condition).
-  const u32 cr_output = is_memory(su.opcode) ? rec.mem_addr : rec.result;
-  const bool cr_confined_actual =
-      upper_bits_match(wide_src_val, cr_output, cfg_.helper_width_bits);
+  bool cr_confined_actual = false;
+  if (cr_shape) {
+    const u32 cr_output = t.is_mem ? rec.mem_addr : rec.result;
+    cr_confined_actual = upper_bits_match(wide_src_val, cr_output, width_bits_);
+  }
 
   unsigned cluster;
   Tick issue = 0;
@@ -395,11 +420,8 @@ void Pipeline::feed(const TraceRecord& rec) {
     for (unsigned k = 0; k < 3; ++k) (void)rename_slots_.reserve(disp);
 
     Tick src_ready = disp;
-    for (unsigned k = 0; k < kMaxSrcs; ++k) {
-      const RegId r = su.srcs[k];
-      if (r == kRegNone) continue;
-      src_ready = std::max(src_ready, acquire_value(r, kHelperIdx, disp));
-    }
+    for (u8 j = 0; j < t.n_srcs; ++j)
+      src_ready = std::max(src_ready, acquire_value(t.srcs[j], kHelperIdx, disp));
     // Four chained 8-bit chunks, LSB to MSB, back to back in the helper.
     Tick prev = src_ready;
     for (unsigned k = 0; k < 4; ++k) {
@@ -416,9 +438,9 @@ void Pipeline::feed(const TraceRecord& rec) {
     cluster = kHelperIdx;
     account_nready(kHelperIdx, true, std::max(src_ready, disp), issue);
   } else {
-    cluster = is_fp(su.opcode) ? kFpIdx
+    cluster = t.is_fp_op ? kFpIdx
               : (decision == SteerDecision::kWide ? kWideIdx : kHelperIdx);
-    ExecTimes t = exec_in(cluster, disp);
+    ExecTimes t2 = exec_in(cluster, disp);
 
     // ----- width misprediction detection (fatal = flush + resteer) -------
     if (cluster == kHelperIdx) {
@@ -435,31 +457,35 @@ void Pipeline::feed(const TraceRecord& rec) {
         // caught by the AGU/ALU carry-out signal at execute; 8-8-8 result
         // width violations are only known at writeback (data return).
         const Tick detect = decision == SteerDecision::kHelperCr
-                                ? t.issue + cycle_ticks(kHelperIdx)
-                                : t.complete;
+                                ? t2.issue + cycle_ticks(kHelperIdx)
+                                : t2.complete;
         fetch_barrier_ = std::max(fetch_barrier_, detect);
-        const Tick redisp = detect + cfg_.frontend_depth * wt;
+        const Tick redisp = detect + frontend_ticks_;
         (void)rename_slots_.reserve(redisp);
-        t = exec_in(kWideIdx, redisp);
+        t2 = exec_in(kWideIdx, redisp);
         cluster = kWideIdx;
         res_.counters[Counter::kFlushRefills]++;
       }
     }
-    issue = t.issue;
-    complete = t.complete;
+    issue = t2.issue;
+    complete = t2.complete;
 
     // NREADY eligibility is structural (Section 3.7): a wide µop counts
     // against the helper when the helper had a free slot it *could* have
-    // used (via steering or splitting), and vice versa.
-    const bool eligible_other = cluster == kHelperIdx || info.helper_capable;
-    account_nready(cluster, eligible_other, t.ready, t.issue);
+    // used (via steering or splitting), and vice versa. static_wide µops
+    // are never eligible (helper disabled or helper-incapable op class),
+    // so the probe is skipped with them.
+    if (!t.static_wide) {
+      const bool eligible_other = cluster == kHelperIdx || t.helper_capable;
+      account_nready(cluster, eligible_other, t2.ready, t2.issue);
+    }
   }
 
   // ----- steering statistics ---------------------------------------------
   if (cluster == kHelperIdx) {
     ++res_.to_helper;
     if (decision == SteerDecision::kHelperCr) ++res_.cr_steered;
-    if (is_branch(su.opcode)) ++res_.br_steered;
+    if (t.is_branch_op) ++res_.br_steered;
   } else if (cluster != kFpIdx) {
     ++res_.to_wide;
   }
@@ -475,10 +501,10 @@ void Pipeline::feed(const TraceRecord& rec) {
     }
     wpred_.train_result(rec.pc, result_narrow_actual);
   }
-  if (ctx.cr_shape) wpred_.train_carry(rec.pc, cr_confined_actual);
+  if (cr_shape) wpred_.train_carry(rec.pc, cr_confined_actual);
 
   // ----- branches -----------------------------------------------------------
-  if (su.opcode == Opcode::kBranchCond) {
+  if (t.is_branch_cond) {
     ++res_.branches;
     const bool pred = bpred_.predict(rec.pc);
     bpred_.update(rec.pc, rec.taken);
@@ -489,9 +515,9 @@ void Pipeline::feed(const TraceRecord& rec) {
   }
 
   // ----- writeback: register location/width bookkeeping -------------------
-  if (su.has_dst()) {
-    RegState& st = (*regs_)[su.dst];
-    st = RegState{};
+  if (t.has_dst) {
+    RegState& st = (*regs_)[t.dst];
+    // Every field is (re)assigned — no default-construct-then-overwrite.
     st.present = {false, false, false};
     st.avail = {kTickNever, kTickNever, kTickNever};
     st.present[cluster] = true;
@@ -502,10 +528,11 @@ void Pipeline::feed(const TraceRecord& rec) {
     st.producer_pc = rec.pc;
     st.producer_seq = seq;
     st.producer_cluster = cluster;
+    st.prefetched = false;
     res_.counters[cluster == kHelperIdx ? Counter::kRfWriteHelper : Counter::kRfWriteWide]++;
 
     if (decision == SteerDecision::kSplit) {
-      if (cfg_.steer.ir_block) {
+      if (ir_block_on_) {
         // Block mode: results stay helper-resident; only µops outside the
         // block that actually consume the value pay a demand copy.
       } else {
@@ -520,7 +547,7 @@ void Pipeline::feed(const TraceRecord& rec) {
       }
     } else if (decision == SteerDecision::kHelperCr && cluster == kHelperIdx &&
                !result_narrow_actual) {
-      if (is_load(su.opcode)) {
+      if (t.is_load_op) {
         // CR load: the AGU add ran in the helper but the (wide) data is
         // delivered by the shared MOB straight into the wide register
         // file — the 8-bit RF cannot hold it.
@@ -540,7 +567,7 @@ void Pipeline::feed(const TraceRecord& rec) {
     // directions: a byte load whose address resolves in the wide cluster
     // feeding a narrow consumer, and a helper-executed byte load feeding
     // a wide consumer.
-    if (cfg_.steer.lr && su.opcode == Opcode::kLoadByte && cluster != kFpIdx) {
+    if (lr_on_ && t.is_load_byte && cluster != kFpIdx) {
       const unsigned other = cluster == kHelperIdx ? kWideIdx : kHelperIdx;
       if (!st.present[other] && result_narrow_actual) {
         st.present[other] = true;
@@ -550,15 +577,17 @@ void Pipeline::feed(const TraceRecord& rec) {
       }
     }
 
-    // CP training-window bookkeeping + prefetch generation.
-    CpTrainEntry& slot = cp_window_[seq % cp_window_.size()];
-    if (slot.valid) wpred_.train_copy(slot.pc, slot.copied || slot.prefetch_used);
-    slot = CpTrainEntry{seq, rec.pc, false, false, true};
-    maybe_copy_prefetch(su.dst, rec.pc, cluster, complete);
+    // CP training-window bookkeeping + prefetch generation. The window only
+    // feeds the copy predictor, which only the CP scheme consults.
+    if (cp_on_) {
+      CpTrainEntry& slot = cp_window_[cp_pos_];
+      if (slot.valid) wpred_.train_copy(slot.pc, slot.copied || slot.prefetch_used);
+      slot = CpTrainEntry{seq, rec.pc, false, false, true};
+      maybe_copy_prefetch(t.dst, rec.pc, cluster, complete);
+    }
   }
-  if (su.writes_flags()) {
+  if (t.writes_flags) {
     RegState& fl = (*regs_)[kRegFlags];
-    fl = RegState{};
     fl.present = {false, false, false};
     fl.avail = {kTickNever, kTickNever, kTickNever};
     fl.present[cluster] = true;
@@ -569,16 +598,49 @@ void Pipeline::feed(const TraceRecord& rec) {
     fl.producer_pc = rec.pc;
     fl.producer_seq = kSeqNone;  // flags don't participate in CP training
     fl.producer_cluster = cluster;
+    fl.prefetched = false;
   }
 
   // ----- commit (in order, wide clock) -------------------------------------
   const Tick ctick = commit_slots_.reserve(std::max(complete, last_commit_));
   last_commit_ = std::max(last_commit_, ctick);
-  rob_commit_[seq % cfg_.rob_entries] = ctick;
-  if (is_store(su.opcode)) mob_.store_retired(seq);
-  ++res_.uops;
-  res_.counters[Counter::kCommitted]++;
-  res_.final_tick = std::max(res_.final_tick, ctick);
+  rob_commit_[rob_pos_] = ctick;
+  if (++rob_pos_ == cfg_.rob_entries) rob_pos_ = 0;
+  if (++cp_pos_ == cp_window_.size()) cp_pos_ = 0;
+  if (t.is_store_op) mob_.store_retired(seq);
+  // Commit ticks are non-decreasing (each reserve is clamped to the last),
+  // so the running final_tick is a plain store, not a max.
+  res_.final_tick = ctick;
+}
+
+void Pipeline::bump_per_uop_counters(u64 n) {
+  res_.counters[Counter::kFetched] += n;
+  res_.counters[Counter::kWpredLookups] += n;
+  res_.counters[Counter::kCommitted] += n;
+  res_.uops += n;
+}
+
+void Pipeline::feed(const TraceRecord& rec) {
+  const UopTemplate& t = lookup_template(rec.pc);
+  u8 lanes = 0;
+  for (unsigned k = 0; k < kMaxSrcs; ++k)
+    lanes |= static_cast<u8>(is_narrow(rec.src_vals[k], width_bits_)) << k;
+  feed_record(rec, t, is_narrow(rec.result, width_bits_), lanes);
+  bump_per_uop_counters(1);
+}
+
+void Pipeline::feed(std::span<const TraceRecord> recs) {
+  WidthLaneBlock lanes;
+  bump_per_uop_counters(recs.size());
+  while (!recs.empty()) {
+    const std::size_t n = std::min(recs.size(), WidthLaneBlock::kRecords);
+    const std::span<const TraceRecord> sub = recs.first(n);
+    lanes.classify(sub, width_bits_);
+    for (std::size_t i = 0; i < n; ++i)
+      feed_record(sub[i], lookup_template(sub[i].pc), lanes.result_narrow(i),
+                  lanes.src_mask(i));
+    recs = recs.subspan(n);
+  }
 }
 
 Pipeline::StatsCheckpoint Pipeline::checkpoint_stats() const {
@@ -611,7 +673,7 @@ SimResult Pipeline::finish() {
 SimResult Pipeline::run(TraceCursor& cursor) {
   for (std::span<const TraceRecord> chunk = cursor.next_chunk(); !chunk.empty();
        chunk = cursor.next_chunk()) {
-    for (const TraceRecord& rec : chunk) feed(rec);
+    feed(chunk);
   }
   return finish();
 }

@@ -12,12 +12,22 @@
 // Global time advances in ticks: one tick = one helper-cluster cycle; the
 // frontend, wide backend, caches and commit operate every
 // `ticks_per_wide_cycle` ticks (Section 2.2's synchronized 2x clocking).
+//
+// Hot-path architecture (see src/bbcache): everything derivable from the
+// static µop alone is cracked once per PC into a UopTemplate and replayed
+// for every dynamic instance; the batched feed() overload additionally runs
+// the value-width classification as a branchless SoA prepass over
+// WidthLaneBlock sub-batches. Scalar feed(), batched feed(), cache-on and
+// cache-off all funnel into the same feed_record() core, so every variant
+// is bit-identical by construction.
 #pragma once
 
 #include <array>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "bbcache/bb_cache.hpp"
 #include "core/machine_config.hpp"
 #include "core/sim_result.hpp"
 #include "util/slot_schedule.hpp"
@@ -34,11 +44,22 @@ class Pipeline {
   /// The pipeline binds to a static program; dynamic records are fed in
   /// program order — all at once (run) or incrementally (feed/finish), which
   /// is what lets long traces stream through without being materialized.
-  Pipeline(const MachineConfig& cfg, const Program& program);
+  ///
+  /// `shared_cache` optionally substitutes an external decode cache for the
+  /// pipeline's private one — sweep drivers reuse cracked templates across
+  /// runs of the same (program, config); the cache rebinds (and invalidates
+  /// on key changes) here.
+  Pipeline(const MachineConfig& cfg, const Program& program,
+           DecodeCache* shared_cache = nullptr);
   ~Pipeline();
 
   /// Process one dynamic µop.
   void feed(const TraceRecord& rec);
+
+  /// Process a batch of dynamic µops in program order. Bit-identical to
+  /// feeding each record individually; the batch form amortizes the width
+  /// classification into an SoA prepass per WidthLaneBlock.
+  void feed(std::span<const TraceRecord> recs);
 
   /// Flush training windows, derive the summary statistics and return the
   /// result. Call exactly once, after the last feed().
@@ -71,7 +92,6 @@ class Pipeline {
   u64 fed_uops() const { return next_seq_; }
 
  private:
-  struct RegState;
   struct CpTrainEntry;
 
   // Cluster index helpers: 0 = wide int, 1 = helper, 2 = wide FP.
@@ -80,15 +100,66 @@ class Pipeline {
   static constexpr unsigned kFpIdx = 2;
   static constexpr unsigned kNumBackends = 3;
 
+  /// Program-order view of one architectural register: where its current
+  /// value lives (per backend), when it becomes readable there, its actual
+  /// and predicted widths, and the producing µop (for CP training and the
+  /// BR rule). In the header so acquire_value's all-hot fast path — value
+  /// already present in the right cluster — stays inline.
+  struct RegState {
+    std::array<Tick, kNumBackends> avail = {0, 0, 0};
+    std::array<bool, kNumBackends> present = {true, true, true};
+    bool value_narrow = true;   // actual width of the current value
+    bool pred_narrow = true;    // width the producer's predictor announced
+    Tick known_at = 0;          // when the actual width is architecturally known
+    u32 producer_pc = ~0u;
+    SeqNum producer_seq = kSeqNone;
+    unsigned producer_cluster = kWideIdx;
+    bool prefetched = false;    // a CP prefetch put the value in the other cluster
+  };
+
   Tick wide_ticks() const { return cfg_.ticks_per_wide_cycle; }
   Tick cycle_ticks(unsigned cluster) const {
     return cluster == kHelperIdx ? 1 : wide_ticks();
   }
 
+  /// The decode-once/replay-many core: one dynamic µop against its cracked
+  /// template, with the record's width lanes precomputed (`result_narrow`
+  /// is the result-value lane; `src_lanes` the per-operand-slot source
+  /// lanes, folded against the template masks).
+  void feed_record(const TraceRecord& rec, const UopTemplate& t,
+                   bool result_narrow, u8 src_lanes);
+
+  /// Template for `pc`: decode-cache replay when enabled (counting hits and
+  /// misses), a fresh crack into scratch_tmpl_ when disabled.
+  const UopTemplate& lookup_template(u32 pc) {
+    if (cache_on_) {
+      if (const UopTemplate* t = cache_->try_get(pc)) [[likely]] {
+        res_.counters[Counter::kBbCacheHits]++;
+        return *t;
+      }
+      res_.counters[Counter::kBbCacheMisses]++;
+      return cache_->fill(pc);
+    }
+    scratch_tmpl_ = build_uop_template(program_.uops[pc], cfg_.steer,
+                                       cfg_.helper_width_bits);
+    return scratch_tmpl_;
+  }
+
   /// Value availability of register `r` in `cluster`, generating a demand
   /// copy µop if the value lives only in the other cluster. Returns the tick
-  /// the value becomes readable there.
-  Tick acquire_value(RegId r, unsigned cluster, Tick dispatch_tick);
+  /// the value becomes readable there. Runs up to three times per µop; the
+  /// dominant already-present case stays inline, the copy machinery doesn't.
+  Tick acquire_value(RegId r, unsigned cluster, Tick dispatch_tick) {
+    RegState& st = (*regs_)[r];
+    if (st.present[cluster]) [[likely]] {
+      if (st.prefetched && st.producer_cluster != cluster) [[unlikely]]
+        return acquire_prefetched(st, cluster);
+      return st.avail[cluster];
+    }
+    return acquire_demand_copy(st, cluster, dispatch_tick);
+  }
+  Tick acquire_prefetched(RegState& st, unsigned cluster);
+  Tick acquire_demand_copy(RegState& st, unsigned cluster, Tick dispatch_tick);
 
   /// Schedule one copy µop from `from` cluster to `to` cluster for a value
   /// that becomes available in `from` at `value_ready`. Returns availability
@@ -107,6 +178,11 @@ class Pipeline {
 
   void train_cp_window(SeqNum upto_seq);
 
+  /// Counters that tick exactly once per µop regardless of path (fetched,
+  /// width-table lookups, committed, uops) — bumped per feed() call instead
+  /// of per record.
+  void bump_per_uop_counters(u64 n);
+
   const MachineConfig cfg_;
   const Program& program_;
   SteeringPolicy policy_;
@@ -116,10 +192,35 @@ class Pipeline {
   MemorySystem memsys_;
   Mob mob_;
 
-  // Frontend / commit schedules (wide clock domain).
-  SlotSchedule fetch_slots_;
+  // Decode-and-steer cache (src/bbcache): private by default, injectable.
+  DecodeCache own_cache_;
+  DecodeCache* cache_ = nullptr;
+  bool cache_on_ = false;
+  UopTemplate scratch_tmpl_;  // cache-off: per-record crack target
+
+  // Config facts hoisted out of the per-µop walk.
+  Tick frontend_ticks_ = 0;   // frontend_depth * wide_ticks
+  unsigned width_bits_ = 8;   // helper datapath width
+  bool wt_pow2_ = true;       // ticks_per_wide_cycle is a power of two
+  unsigned wt_shift_ = 1;     // log2(ticks_per_wide_cycle) when wt_pow2_
+  bool needs_occ_ = false;    // decide() reads issue-queue occupancy
+  bool cr_on_ = false;
+  bool lr_on_ = false;
+  bool cp_on_ = false;
+  bool ir_block_on_ = false;
+
+  // Frontend / commit schedules (wide clock domain). Fetch and commit are
+  // strictly in order — every reserve is clamped to the previous result —
+  // so they use the two-word MonotonicSlots. Rename is monotonic too
+  // *unless* the helper is enabled: the split path (3 extra slots at disp)
+  // and the flush path (refill slot at redisp) reserve out of band, so
+  // helper configs keep the full SlotSchedule ledger and rename_mono_
+  // selects per config.
+  MonotonicSlots fetch_slots_;
   SlotSchedule rename_slots_;
-  SlotSchedule commit_slots_;
+  MonotonicSlots rename_mono_slots_;
+  bool rename_mono_ = false;
+  MonotonicSlots commit_slots_;
   // Backend issue slots and queue occupancy.
   std::array<std::unique_ptr<SlotSchedule>, kNumBackends> issue_slots_;
   std::array<std::unique_ptr<QueueTracker>, kNumBackends> queues_;
@@ -135,6 +236,11 @@ class Pipeline {
 
   // CP training window (producers awaiting "did it incur a copy?").
   std::vector<CpTrainEntry> cp_window_;
+
+  // Rolling ring positions (seq % rob_entries / seq % cp_window size without
+  // the per-µop u64 modulo; advanced once per feed_record).
+  unsigned rob_pos_ = 0;
+  unsigned cp_pos_ = 0;
 
   /// Block-granularity IR (the Section 3.7 extension): while positive,
   /// splittable µops join the current helper block without re-consulting

@@ -26,8 +26,38 @@ class Cache {
  public:
   explicit Cache(const CacheConfig& cfg);
 
-  /// Probe + allocate-on-miss. Returns true on hit.
-  bool access(u32 addr);
+  /// Probe + allocate-on-miss. Returns true on hit. Runs for every load and
+  /// store on the per-µop hot path — defined inline.
+  bool access(u32 addr) {
+    const u32 set = set_of(addr);
+    const u32 tag = tag_of(addr);
+    Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+    ++access_clock_;
+
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      Line& line = base[w];
+      if (line.valid && line.tag == tag) {
+        line.lru = access_clock_;
+        hits_.add(true);
+        return true;
+      }
+    }
+    // Miss: fill into an invalid way if any, else evict the LRU way.
+    Line* victim = base;
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      Line& line = base[w];
+      if (!line.valid) {
+        victim = &line;
+        break;
+      }
+      if (line.lru < victim->lru) victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = access_clock_;
+    hits_.add(false);
+    return false;
+  }
 
   /// Probe without allocation.
   bool probe(u32 addr) const;

@@ -11,41 +11,6 @@ MemorySystem::MemorySystem(const MemoryConfig& cfg)
       dl0_ports_(cfg.dl0.ports, /*cycle_ticks=*/1),
       ul1_ports_(cfg.ul1.ports, /*cycle_ticks=*/1) {}
 
-u64 MemorySystem::access(u64 agu_done_cycle, u32 addr, bool is_store) {
-  const u64 dl0_start = dl0_ports_.reserve(agu_done_cycle);
-  if (dl0_.access(addr)) return dl0_start + cfg_.dl0.latency_cycles;
-  const u64 ul1_start = ul1_ports_.reserve(dl0_start + cfg_.dl0.latency_cycles);
-  if (ul1_.access(addr)) return ul1_start + cfg_.ul1.latency_cycles;
-  // Stores that miss all the way allocate without stalling the pipeline on
-  // the full memory round trip (write-allocate, store buffer drains them);
-  // loads pay the main-memory latency.
-  const u64 mem_done = ul1_start + cfg_.ul1.latency_cycles + cfg_.main_memory_cycles;
-  return is_store ? ul1_start + cfg_.ul1.latency_cycles : mem_done;
-}
-
-void Mob::add_store(SeqNum seq, u32 addr, u64 data_ready_cycle) {
-  stores_.push_back(StoreEntry{seq, addr, data_ready_cycle});
-}
-
-void Mob::store_retired(SeqNum seq) {
-  while (!stores_.empty() && stores_.front().seq <= seq) stores_.pop_front();
-}
-
-Mob::LoadCheck Mob::check_load(SeqNum seq, u32 addr) const {
-  LoadCheck res;
-  // Youngest older store to the same word wins (store-to-load forwarding).
-  const u32 word = addr & ~3u;
-  for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
-    if (it->seq >= seq) continue;
-    if ((it->addr & ~3u) == word) {
-      res.forwarded = true;
-      res.ready_cycle = it->data_ready_cycle;
-      return res;
-    }
-  }
-  return res;
-}
-
 void Mob::squash_from(SeqNum seq) {
   while (!stores_.empty() && stores_.back().seq >= seq) stores_.pop_back();
 }

@@ -28,8 +28,19 @@ class MemorySystem {
   /// Schedule a data access whose address generation finished at wide cycle
   /// `agu_done`. Returns the wide cycle at which the data is available.
   /// Caches are pipelined: a port is occupied for one cycle per access while
-  /// the access latency overlaps with younger accesses.
-  u64 access(u64 agu_done_cycle, u32 addr, bool is_store);
+  /// the access latency overlaps with younger accesses. Inline: one call per
+  /// load/store on the per-µop hot path, and the DL0 hit exit dominates.
+  u64 access(u64 agu_done_cycle, u32 addr, bool is_store) {
+    const u64 dl0_start = dl0_ports_.reserve(agu_done_cycle);
+    if (dl0_.access(addr)) return dl0_start + cfg_.dl0.latency_cycles;
+    const u64 ul1_start = ul1_ports_.reserve(dl0_start + cfg_.dl0.latency_cycles);
+    if (ul1_.access(addr)) return ul1_start + cfg_.ul1.latency_cycles;
+    // Stores that miss all the way allocate without stalling the pipeline on
+    // the full memory round trip (write-allocate, store buffer drains them);
+    // loads pay the main-memory latency.
+    const u64 mem_done = ul1_start + cfg_.ul1.latency_cycles + cfg_.main_memory_cycles;
+    return is_store ? ul1_start + cfg_.ul1.latency_cycles : mem_done;
+  }
 
   const Cache& dl0() const { return dl0_; }
   const Cache& ul1() const { return ul1_; }
@@ -48,8 +59,16 @@ class MemorySystem {
 /// sequence number assigned at dispatch; both clusters share this structure.
 class Mob {
  public:
-  void add_store(SeqNum seq, u32 addr, u64 data_ready_cycle);
-  void store_retired(SeqNum seq);
+  // One call per store (x2) / per load on the per-µop hot path: inline. The
+  // store window is short (stores retire at commit), so the probes are a
+  // handful of entries at most.
+  void add_store(SeqNum seq, u32 addr, u64 data_ready_cycle) {
+    stores_.push_back(StoreEntry{seq, addr, data_ready_cycle});
+  }
+
+  void store_retired(SeqNum seq) {
+    while (!stores_.empty() && stores_.front().seq <= seq) stores_.pop_front();
+  }
 
   /// Result of a load disambiguation probe.
   struct LoadCheck {
@@ -58,7 +77,21 @@ class Mob {
   };
 
   /// Check a load at sequence `seq`, address `addr`, against older stores.
-  LoadCheck check_load(SeqNum seq, u32 addr) const;
+  LoadCheck check_load(SeqNum seq, u32 addr) const {
+    LoadCheck res;
+    if (stores_.empty()) [[likely]] return res;
+    // Youngest older store to the same word wins (store-to-load forwarding).
+    const u32 word = addr & ~3u;
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+      if (it->seq >= seq) continue;
+      if ((it->addr & ~3u) == word) {
+        res.forwarded = true;
+        res.ready_cycle = it->data_ready_cycle;
+        return res;
+      }
+    }
+    return res;
+  }
 
   /// Squash all stores younger than or equal to `seq` (pipeline flush).
   void squash_from(SeqNum seq);

@@ -14,14 +14,4 @@ BranchPredictor::BranchPredictor(const BranchPredictorConfig& cfg) : cfg_(cfg) {
   counters_.assign(cfg_.entries, 1);  // weakly not-taken
 }
 
-bool BranchPredictor::predict(u32 pc) const { return counters_[index(pc)] >= 2; }
-
-void BranchPredictor::update(u32 pc, bool taken) {
-  u8& c = counters_[index(pc)];
-  acc_.add((c >= 2) == taken);
-  if (taken && c < 3) ++c;
-  if (!taken && c > 0) --c;
-  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
-}
-
 }  // namespace hcsim

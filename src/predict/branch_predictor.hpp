@@ -22,8 +22,16 @@ class BranchPredictor {
  public:
   explicit BranchPredictor(const BranchPredictorConfig& cfg = {});
 
-  bool predict(u32 pc) const;
-  void update(u32 pc, bool taken);
+  // Once per conditional branch on the per-µop hot path: inline.
+  bool predict(u32 pc) const { return counters_[index(pc)] >= 2; }
+
+  void update(u32 pc, bool taken) {
+    u8& c = counters_[index(pc)];
+    acc_.add((c >= 2) == taken);
+    if (taken && c < 3) ++c;
+    if (!taken && c > 0) --c;
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+  }
 
   const Ratio& accuracy() const { return acc_; }
 

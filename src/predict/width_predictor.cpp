@@ -13,46 +13,4 @@ WidthPredictor::WidthPredictor(const WidthPredictorConfig& cfg) : cfg_(cfg) {
   table_.assign(cfg_.entries, Entry{});
 }
 
-WidthPredictor::Prediction WidthPredictor::predict_result(u32 pc) const {
-  const Entry& e = table_[index(pc)];
-  const bool confident = !cfg_.use_confidence || e.conf >= cfg_.confidence_threshold;
-  return Prediction{e.last_narrow, confident};
-}
-
-WidthPredictor::Prediction WidthPredictor::predict_carry(u32 pc) const {
-  const Entry& e = table_[index(pc)];
-  const bool confident = !cfg_.use_confidence || e.carry_conf >= cfg_.confidence_threshold;
-  return Prediction{e.carry_confined, confident};
-}
-
-bool WidthPredictor::predict_copy(u32 pc) const { return table_[index(pc)].copy_likely; }
-
-void WidthPredictor::train_result(u32 pc, bool was_narrow) {
-  Entry& e = table_[index(pc)];
-  result_acc_.add(e.last_narrow == was_narrow);
-  if (e.last_narrow == was_narrow) {
-    if (e.conf < 3) ++e.conf;
-  } else {
-    e.last_narrow = was_narrow;
-    e.conf = 0;
-  }
-}
-
-void WidthPredictor::train_carry(u32 pc, bool was_confined) {
-  Entry& e = table_[index(pc)];
-  carry_acc_.add(e.carry_confined == was_confined);
-  if (e.carry_confined == was_confined) {
-    if (e.carry_conf < 3) ++e.carry_conf;
-  } else {
-    e.carry_confined = was_confined;
-    e.carry_conf = 0;
-  }
-}
-
-void WidthPredictor::train_copy(u32 pc, bool generated_copy) {
-  Entry& e = table_[index(pc)];
-  copy_acc_.add(e.copy_likely == generated_copy);
-  e.copy_likely = generated_copy;
-}
-
 }  // namespace hcsim

@@ -35,19 +35,55 @@ class WidthPredictor {
     bool confident = false;  // high-confidence (eligible for narrow steering)
   };
 
+  // Lookups and training run once (or more) per dynamic µop — all defined
+  // inline below; the table is 256 entries of a few bytes, L1-resident.
+
   /// Predict the width of the result a static µop will produce.
-  Prediction predict_result(u32 pc) const;
+  Prediction predict_result(u32 pc) const {
+    const Entry& e = table_[index(pc)];
+    const bool confident = !cfg_.use_confidence || e.conf >= cfg_.confidence_threshold;
+    return Prediction{e.last_narrow, confident};
+  }
 
   /// Predict whether an 8+32->32 µop's carry will stay confined (CR).
-  Prediction predict_carry(u32 pc) const;
+  Prediction predict_carry(u32 pc) const {
+    const Entry& e = table_[index(pc)];
+    const bool confident =
+        !cfg_.use_confidence || e.carry_conf >= cfg_.confidence_threshold;
+    return Prediction{e.carry_confined, confident};
+  }
 
   /// Predict whether this producer will incur an inter-cluster copy (CP).
-  bool predict_copy(u32 pc) const;
+  bool predict_copy(u32 pc) const { return table_[index(pc)].copy_likely; }
 
   /// Writeback-time training.
-  void train_result(u32 pc, bool was_narrow);
-  void train_carry(u32 pc, bool was_confined);
-  void train_copy(u32 pc, bool generated_copy);
+  void train_result(u32 pc, bool was_narrow) {
+    Entry& e = table_[index(pc)];
+    result_acc_.add(e.last_narrow == was_narrow);
+    if (e.last_narrow == was_narrow) {
+      if (e.conf < 3) ++e.conf;
+    } else {
+      e.last_narrow = was_narrow;
+      e.conf = 0;
+    }
+  }
+
+  void train_carry(u32 pc, bool was_confined) {
+    Entry& e = table_[index(pc)];
+    carry_acc_.add(e.carry_confined == was_confined);
+    if (e.carry_confined == was_confined) {
+      if (e.carry_conf < 3) ++e.carry_conf;
+    } else {
+      e.carry_confined = was_confined;
+      e.carry_conf = 0;
+    }
+  }
+
+  void train_copy(u32 pc, bool generated_copy) {
+    Entry& e = table_[index(pc)];
+    copy_acc_.add(e.copy_likely == generated_copy);
+    e.copy_likely = generated_copy;
+  }
 
   /// Training-accuracy ratios (used by Figure 5 and the CP accuracy claim).
   const Ratio& result_accuracy() const { return result_acc_; }

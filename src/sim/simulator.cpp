@@ -2,7 +2,9 @@
 
 #include <map>
 #include <mutex>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "rv/kernels.hpp"
 #include "sample/windowed.hpp"
@@ -28,10 +30,20 @@ SimResult simulate_streamed(const MachineConfig& cfg, const WorkloadProfile& pro
   if (n_records == 0) n_records = default_trace_len();
   if (!profile.rv_kernel.empty()) {
     // RV kernels stream push-side: the functional executor drives a sink
-    // that cracks each instruction and feeds the pipeline directly.
+    // that cracks each instruction into a bounded staging buffer; full
+    // chunks flow to the pipeline's batched (SoA-classified) feed.
     const rv::KernelStream stream = rv::open_kernel_stream(profile.rv_kernel);
     Pipeline p(cfg, stream.cracked.program);
-    stream.pump(n_records, [&](const TraceRecord& rec) { p.feed(rec); });
+    std::vector<TraceRecord> buf;
+    buf.reserve(kTraceChunkRecords);
+    stream.pump(n_records, [&](const TraceRecord& rec) {
+      buf.push_back(rec);
+      if (buf.size() == kTraceChunkRecords) {
+        p.feed(std::span<const TraceRecord>(buf));
+        buf.clear();
+      }
+    });
+    p.feed(std::span<const TraceRecord>(buf));
     return p.finish();
   }
   ProgramTraceCursor cursor(generate_program(profile), profile, n_records);

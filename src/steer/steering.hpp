@@ -54,6 +54,10 @@ struct SteeringConfig {
   unsigned ir_block_len = 8;
 
   std::string describe() const;
+
+  /// Memberwise equality — the decode cache (src/bbcache) keys cached µop
+  /// templates on the steering configuration and must detect any change.
+  bool operator==(const SteeringConfig&) const = default;
 };
 
 /// Canonical configurations used throughout the evaluation.

@@ -13,9 +13,15 @@
 
 #include "isa/uop.hpp"
 #include "util/log.hpp"
+#include "util/narrow.hpp"
 #include "util/types.hpp"
 
 namespace hcsim {
+
+/// Shared chunk geometry: records per TraceCursor chunk. One constant so the
+/// pull cursors (wload/executor.hpp), the shm trace bus (bus/trace_bus.hpp)
+/// and the pipeline's SoA batches cannot drift apart.
+inline constexpr std::size_t kTraceChunkRecords = std::size_t{1} << 16;
 
 /// One dynamic µop instance.
 struct TraceRecord {
@@ -51,6 +57,57 @@ struct Trace {
   }
   std::size_t size() const { return records.size(); }
 };
+
+/// Structure-of-arrays width lanes over one sub-batch of trace records.
+///
+/// The per-record width classification (is every source value narrow? is the
+/// result narrow?) depends only on the record's values and the helper width,
+/// so the batched pipeline front end hoists it out of the stateful per-µop
+/// walk: classify() runs a branchless pass over a block of records filling
+/// one bitmask lane per record, and the steering/training code folds those
+/// lanes against the static µop template's operand masks. One block covers
+/// kRecords records; TraceCursor chunks are a whole multiple of it.
+struct WidthLaneBlock {
+  /// Records per block. Small enough to stay cache-resident between the
+  /// classify pass and the consuming walk; divides kTraceChunkRecords so
+  /// cursor chunks split into whole blocks.
+  static constexpr std::size_t kRecords = 1024;
+  static_assert(kTraceChunkRecords % kRecords == 0,
+                "trace chunks must split into whole width-lane blocks");
+
+  /// Lane bit for the result value (source k uses bit k).
+  static constexpr unsigned kResultBit = kMaxSrcs;
+  static constexpr u8 kSrcMask = (u8{1} << kMaxSrcs) - 1;
+
+  /// lanes[i] bit k (k < kMaxSrcs): src_vals[k] of record i is narrow;
+  /// bit kResultBit: the result value is narrow.
+  std::array<u8, kRecords> lanes{};
+
+  /// Classify `recs` (at most kRecords of them) against a `width_bits`-wide
+  /// helper datapath. Every value is classified unconditionally — no operand
+  /// masking, no branches — which is what lets the loop auto-vectorize.
+  void classify(std::span<const TraceRecord> recs, unsigned width_bits);
+
+  // Accessors use std::array::at-free indexing on the hot path; the bounds
+  // are exercised under ASan/UBSan by tests/test_bbcache.cpp.
+  bool src_narrow(std::size_t i, unsigned k) const { return (lanes[i] >> k) & 1u; }
+  bool result_narrow(std::size_t i) const { return (lanes[i] >> kResultBit) & 1u; }
+  /// The kMaxSrcs source-narrow bits of record i, for mask folds.
+  u8 src_mask(std::size_t i) const { return lanes[i] & kSrcMask; }
+};
+
+inline void WidthLaneBlock::classify(std::span<const TraceRecord> recs,
+                                     unsigned width_bits) {
+  HCSIM_CHECK(recs.size() <= kRecords, "WidthLaneBlock: block overflow");
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const TraceRecord& r = recs[i];
+    u8 m = 0;
+    for (unsigned k = 0; k < kMaxSrcs; ++k)
+      m |= static_cast<u8>(is_narrow(r.src_vals[k], width_bits)) << k;
+    m |= static_cast<u8>(is_narrow(r.result, width_bits)) << kResultBit;
+    lanes[i] = m;
+  }
+}
 
 /// Streaming view of a dynamic µop stream: the pipeline pulls records
 /// chunk-wise, so long runs (the paper's 100M-instruction windows) never

@@ -35,21 +35,8 @@ u64 SlotSchedule::first_nonfull(u64 cycle) const {
   return end;
 }
 
-Tick SlotSchedule::reserve(Tick earliest) {
-  u64 cycle = earliest / cycle_ticks_;
-  if (cycle < base_) cycle = base_;
-  if (cycle <= frontier_) cycle = first_nonfull(cycle);
-  if (cycle >= base_ + kWindowCycles) gc_to(cycle - kWindowCycles + 1);
-  u8& used = used_[cycle & kMask];
-  ++used;
-  if (used == width_) full_[(cycle & kMask) >> 6] |= u64{1} << (cycle & 63);
-  if (cycle > frontier_) frontier_ = cycle;
-  ++reservations_;
-  return cycle * cycle_ticks_;
-}
-
 bool SlotSchedule::has_free_slot(Tick tick) const {
-  const u64 cycle = tick / cycle_ticks_;
+  const u64 cycle = to_cycle(tick);
   if (cycle < base_) return false;
   if (cycle > frontier_) return true;
   return slot(cycle) < width_;
@@ -58,8 +45,8 @@ bool SlotSchedule::has_free_slot(Tick tick) const {
 SlotSchedule::RangeProbe SlotSchedule::free_slot_in(Tick from, Tick until) const {
   RangeProbe p;
   if (until <= from) return p;
-  u64 c0 = from / cycle_ticks_;
-  const u64 c1 = (until - 1) / cycle_ticks_;  // last cycle overlapping the range
+  u64 c0 = to_cycle(from);
+  const u64 c1 = to_cycle(until - 1);  // last cycle overlapping the range
   if (c0 < base_) {
     p.truncated = true;
     c0 = base_;
@@ -91,9 +78,7 @@ Tick QueueTracker::next_occupied(Tick from) const {
   return tail_;
 }
 
-void QueueTracker::drain(Tick t) {
-  const Tick target = t + 1;  // entries with issue <= t leave the queue
-  if (target <= head_) return;
+void QueueTracker::drain_slow(Tick target) {
   Tick c = head_;
   while (live_ > 0) {
     c = next_occupied(c);
@@ -125,36 +110,41 @@ void QueueTracker::grow(Tick issue) {
   mask_ = new_mask;
 }
 
-void QueueTracker::add(Tick issue) {
-  // An issue tick at or below the drain head already "left" the queue: by
-  // the time any later query observes the tracker, its drain would have
-  // retired this entry anyway.
-  if (issue < head_) return;
-  if (issue - head_ > mask_) grow(issue);
-  const u64 pos = issue & mask_;
-  if (ring_[pos]++ == 0) occ_[pos >> 6] |= u64{1} << (pos & 63);
-  ++live_;
-  if (issue >= tail_) tail_ = issue + 1;
-}
-
-Tick QueueTracker::earliest_dispatch(Tick tick) {
-  drain(tick);
-  if (live_ < size_) return tick;
+Tick QueueTracker::earliest_dispatch_full() const {
   // Full: the dispatch must wait until enough occupants have issued that an
-  // entry frees up. Walk the occupied buckets in issue order; `need` counts
-  // the departures required before occupancy drops below the queue size.
-  // Stateless on purpose: a pure query must return the same answer when
-  // repeated (live_ >= size_ >= 1 guarantees the walk terminates).
-  u64 need = live_ - size_ + 1;
-  Tick c = head_;
-  for (;;) {
-    c = next_occupied(c);
-    HCSIM_CHECK(c < tail_, "QueueTracker: live entries unaccounted for");
-    const u64 n = ring_[c & mask_];
-    if (n >= need) return c;
-    need -= n;
-    ++c;
+  // entry frees up. A pure query (live_ >= size_ >= 1 guarantees the walks
+  // terminate), but amortized O(1) via the (full_at_, full_slack_) cache:
+  //   - add(j <= full_at_) raises required and available departures equally;
+  //   - add(j > full_at_) decrements the slack (see add());
+  //   - a drain with head_ <= full_at_ removes k entries from both sides of
+  //     the slack (all removed entries issue before head_), leaving it and
+  //     the answer's minimality intact;
+  //   - a drain past full_at_ invalidates the cache (head_ > full_at_).
+  // The answer never moves backward under adds, so the slack repair resumes
+  // the departure walk from the cache instead of restarting at head_.
+  if (head_ > full_at_) {
+    u64 need = live_ - size_ + 1;
+    Tick c = head_;
+    for (;;) {
+      c = next_occupied(c);
+      HCSIM_CHECK(c < tail_, "QueueTracker: live entries unaccounted for");
+      const u64 n = ring_[c & mask_];
+      if (n >= need) {
+        full_at_ = c;
+        full_slack_ = static_cast<i64>(n - need);
+        return c;
+      }
+      need -= n;
+      ++c;
+    }
   }
+  while (full_slack_ < 0) {
+    const Tick c = next_occupied(full_at_ + 1);
+    HCSIM_CHECK(c < tail_, "QueueTracker: live entries unaccounted for");
+    full_slack_ += static_cast<i64>(ring_[c & mask_]);
+    full_at_ = c;
+  }
+  return full_at_;
 }
 
 }  // namespace hcsim

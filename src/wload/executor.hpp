@@ -51,7 +51,7 @@ Trace generate_trace(const WorkloadProfile& profile, u64 n_records);
 /// kernels stream push-side, see rv/kernels.hpp).
 class ProgramTraceCursor final : public TraceCursor {
  public:
-  static constexpr std::size_t kDefaultChunkRecords = std::size_t{1} << 16;
+  static constexpr std::size_t kDefaultChunkRecords = kTraceChunkRecords;
 
   ProgramTraceCursor(Program program, const WorkloadProfile& profile,
                      u64 n_records, std::size_t chunk_records = kDefaultChunkRecords);

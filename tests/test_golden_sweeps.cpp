@@ -6,6 +6,7 @@
 // byte-for-byte, serially and on the thread pool.
 #include <gtest/gtest.h>
 
+#include "bbcache/bb_cache.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
@@ -48,6 +49,40 @@ TEST(GoldenSweeps, RvMatchesSeedSerial) {
 
 TEST(GoldenSweeps, RvMatchesSeedThreaded) {
   EXPECT_EQ(sweep_csv("rv", 4), kGolden_rv);
+}
+
+/// RAII decode-cache disable (restores the env-derived default on exit).
+struct BbCacheOff {
+  BbCacheOff() { bbcache_set_enabled(false); }
+  ~BbCacheOff() { bbcache_reset_enabled(); }
+};
+
+// The decode cache must be output-invisible: with template replay disabled
+// (every record re-cracked, the HCSIM_BBCACHE=0 path) the goldens still
+// reproduce byte-for-byte — cache-on and cache-off runs share feed_record,
+// so any divergence is a template purity bug.
+TEST(GoldenSweeps, Fig06MatchesSeedCacheDisabled) {
+  BbCacheOff off;
+  EXPECT_EQ(sweep_csv("fig06", 1), kGolden_fig06);
+}
+
+TEST(GoldenSweeps, Fig12MatchesSeedCacheDisabled) {
+  BbCacheOff off;
+  EXPECT_EQ(sweep_csv("fig12", 1), kGolden_fig12);
+}
+
+TEST(GoldenSweeps, RvMatchesSeedCacheDisabledThreaded) {
+  BbCacheOff off;
+  EXPECT_EQ(sweep_csv("rv", 4), kGolden_rv);
+}
+
+// Cross-check without goldens: the cumulative sweep (every steering-ladder
+// rung, so every invalidation edge between configs) emits identical CSVs
+// with the cache enabled and disabled.
+TEST(GoldenSweeps, CumulativeCacheOnOffIdentical) {
+  const std::string with_cache = sweep_csv("cumulative", 1);
+  BbCacheOff off;
+  EXPECT_EQ(sweep_csv("cumulative", 1), with_cache);
 }
 
 }  // namespace

@@ -2,9 +2,11 @@
 // performance trajectory (items/sec, not a paper figure).
 //
 // Times the hot paths that dominate every experiment: synthetic trace
-// generation, the baseline pipeline, the helper+IR pipeline, the fused
-// streaming path (generation + simulation, no materialized trace), and the
-// warm-up/measure sampled path (pipeline_sampled: a 5-window schedule
+// generation, the baseline pipeline, the batched SoA feed with a shared
+// decode cache (pipeline_batched) and its cache-disabled twin
+// (pipeline_batched_nocache — the gap isolates the cache), the helper+IR
+// pipeline, the fused streaming path (generation + simulation, no
+// materialized trace), and the warm-up/measure sampled path (pipeline_sampled: a 5-window schedule
 // simulating ~25% of the trace — its items/sec counts *trace µops covered*,
 // so the gap to pipeline_streamed is the sampling speedup). Results go to
 // stdout as JSON; append them to BENCH_sim_throughput.json so each PR has a
@@ -23,6 +25,9 @@
 #include <fstream>
 #include <string>
 
+#include <span>
+
+#include "bbcache/bb_cache.hpp"
 #include "sample/spec.hpp"
 #include "sample/windowed.hpp"
 #include "sim/simulator.hpp"
@@ -110,6 +115,24 @@ int main(int argc, char** argv) {
     if (r.final_tick == 0) std::abort();
   });
 
+  // Batched SoA feed with a decode cache shared across reps (the sweep
+  // driver's steady state) and its cache-disabled twin: the gap between the
+  // two isolates the decode cache's contribution.
+  DecodeCache shared_cache(/*enabled=*/true);
+  const double batched = best_items_per_sec(n_uops, reps, [&] {
+    Pipeline p(baseline, trace.program, &shared_cache);
+    p.feed(std::span<const TraceRecord>(trace.records));
+    SimResult r = p.finish();
+    if (r.final_tick == 0) std::abort();
+  });
+  DecodeCache off_cache(/*enabled=*/false);
+  const double batched_nocache = best_items_per_sec(n_uops, reps, [&] {
+    Pipeline p(baseline, trace.program, &off_cache);
+    p.feed(std::span<const TraceRecord>(trace.records));
+    SimResult r = p.finish();
+    if (r.final_tick == 0) std::abort();
+  });
+
   // Sampled path: 5 windows of 1% warm-up + 4% measure each, so ~25% of the
   // trace is actually fed. Throughput still counts every trace µop *covered*
   // (simulated or skipped) — the paper-scale figure of merit.
@@ -144,13 +167,15 @@ int main(int argc, char** argv) {
                 "  \"items_per_second\": {\n"
                 "    \"trace_gen\": %.0f,\n"
                 "    \"pipeline_baseline\": %.0f,\n"
+                "    \"pipeline_batched\": %.0f,\n"
+                "    \"pipeline_batched_nocache\": %.0f,\n"
                 "    \"pipeline_helper_ir\": %.0f,\n"
                 "    \"pipeline_streamed\": %.0f,\n"
                 "    \"pipeline_sampled\": %.0f\n"
                 "  }\n"
                 "}\n",
-                static_cast<unsigned long long>(n_uops), reps, gen, base, ir, streamed,
-                sampled);
+                static_cast<unsigned long long>(n_uops), reps, gen, base, batched,
+                batched_nocache, ir, streamed, sampled);
   json += buf;
   std::fputs(json.c_str(), stdout);
   if (!json_path.empty()) {

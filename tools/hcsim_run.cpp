@@ -5,7 +5,10 @@
 //   hcsim_run <trace.hctrace|profile-name> [scheme] [n_uops]
 //             [--sampled] [--sample-warmup N] [--sample-measure N]
 //             [--sample-period N] [--sample-windows N]
-//             [--threads N] [--compare-full]
+//             [--threads N] [--compare-full] [--verbose]
+//
+// --verbose additionally dumps every raw event counter (bb_cache_*,
+// issue_*, rf_write_*, ...) after the summary.
 //
 // scheme: baseline 888 br lr cr cp ir irn      (default: ir)
 //
@@ -21,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/counters.hpp"
 #include "power/power_model.hpp"
 #include "sample/spec.hpp"
 #include "sample/windowed.hpp"
@@ -52,7 +56,7 @@ int usage(const char* argv0) {
                "usage: %s <trace.hctrace|profile> [scheme] [n_uops]\n"
                "          [--sampled] [--sample-warmup N] [--sample-measure N]\n"
                "          [--sample-period N] [--sample-windows N]\n"
-               "          [--threads N] [--compare-full]\n",
+               "          [--threads N] [--compare-full] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -67,6 +71,15 @@ u64 parse_u64(const char* flag, const char* s, bool allow_zero) {
     std::exit(2);
   }
   return v;
+}
+
+void print_counters(const SimResult& r) {
+  std::printf("\ncounters:\n");
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const Counter c = static_cast<Counter>(i);
+    std::printf("  %-24s %llu\n", std::string(counter_name(c)).c_str(),
+                (unsigned long long)r.counters.get(c));
+  }
 }
 
 void print_result(const SimResult& r, const MachineConfig& cfg) {
@@ -107,6 +120,7 @@ int main(int argc, char** argv) {
   sample::SampleSpec spec = sample::spec_from_env();
   bool sampled = spec.enabled();
   bool compare_full = false;
+  bool verbose = false;
   unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -137,6 +151,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--compare-full") {
       compare_full = true;
       sampled = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage(argv[0]);
@@ -179,6 +195,7 @@ int main(int argc, char** argv) {
                             ? simulate_workload(cfg, spec_profile(source), n)
                             : simulate(cfg, owned);
     print_result(r, cfg);
+    if (verbose) print_counters(r);
     return 0;
   }
 
@@ -196,6 +213,7 @@ int main(int argc, char** argv) {
     std::printf("\n%s", sample::render_window_table(sr).c_str());
   }
   print_result(sr.total, cfg);
+  if (verbose) print_counters(sr.total);
 
   if (compare_full) {
     const SimResult full = from_profile
