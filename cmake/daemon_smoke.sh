@@ -38,16 +38,23 @@ if [ "$rc" -ne 2 ]; then
   exit 1
 fi
 
-# --connect to a socket nobody listens on must fail, not hang.
+# --connect to a socket nobody listens on: the fault-tolerant client retries,
+# then falls back to in-process execution (exit 0). With --no-fallback the
+# transport failure is surfaced as exit 3. Neither may hang.
+"$SWEEP" smoke --quiet --connect "$WORK_DIR/nope.sock" --retry 2 \
+  --retry-backoff-ms 10 2> "$WORK_DIR/fallback.err" > /dev/null
+grep -q "daemon unreachable; computing" "$WORK_DIR/fallback.err"
+
 set +e
-"$SWEEP" smoke --quiet --connect "$WORK_DIR/nope.sock" 2> "$WORK_DIR/refused.err"
+"$SWEEP" smoke --quiet --connect "$WORK_DIR/nope.sock" --no-fallback --retry 2 \
+  --retry-backoff-ms 10 2> "$WORK_DIR/refused.err"
 rc=$?
 set -e
-if [ "$rc" -ne 1 ]; then
-  echo "--connect to a dead socket: expected exit 1, got $rc" >&2
+if [ "$rc" -ne 3 ]; then
+  echo "--connect dead socket with --no-fallback: expected exit 3, got $rc" >&2
   exit 1
 fi
-grep -q "is hcsimd running" "$WORK_DIR/refused.err"
+grep -q "fallback disabled" "$WORK_DIR/refused.err"
 
 # --- daemon round trip --------------------------------------------------------
 "$DAEMON" --socket "$SOCK" --threads 2 2> "$WORK_DIR/hcsimd.log" &

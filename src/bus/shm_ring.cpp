@@ -12,6 +12,7 @@
 #include <new>
 #include <thread>
 
+#include "util/faultpoint.hpp"
 #include "util/log.hpp"
 
 namespace hcsim::bus {
@@ -81,6 +82,12 @@ bool replace_stale_segment(const std::string& path, std::string& error) {
 
 ShmRing ShmRing::create(const std::string& path, u64 capacity) {
   ShmRing ring;
+  // Deterministic ENOSPC-style failure for the fault-injection harness: the
+  // segment never comes into existence, exactly like a full /dev/shm.
+  if (fault::enabled() && fault::fire("ring.create.fail")) {
+    ring.error_ = "cannot create ring segment " + path + " (injected fault)";
+    return ring;
+  }
   if (capacity > kMaxCapacity) {
     ring.error_ = "ring capacity too large for " + path;
     return ring;

@@ -4,7 +4,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
+#include <unordered_set>
 #include <utility>
 
 namespace hcsim::svc {
@@ -24,7 +26,11 @@ Client Client::connect(const std::string& socket_path) {
     c.error_ = "socket() failed";
     return c;
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
     ::close(fd);
     c.error_ = "cannot connect to " + socket_path + " (is hcsimd running?)";
     return c;
@@ -53,12 +59,12 @@ bool Client::round_trip(u8 type, const std::vector<u8>& payload, u8 expect,
     error = error_.empty() ? "not connected" : error_;
     return false;
   }
-  if (!write_frame(fd_, type, payload)) {
+  if (!write_frame(fd_, type, payload, timeout_ms_)) {
     error = "connection lost while sending";
     return false;
   }
   std::string frame_err;
-  if (!read_frame(fd_, reply, kMaxResponseFrame, &frame_err)) {
+  if (!read_frame(fd_, reply, kMaxResponseFrame, &frame_err, timeout_ms_)) {
     error = frame_err.empty() ? "daemon closed the connection" : frame_err;
     return false;
   }
@@ -117,7 +123,66 @@ bool Client::shutdown(std::string& error) {
 
 bool Client::cancel() {
   if (!ok()) return false;
-  return write_frame(fd_, kCancel, {});
+  return write_frame(fd_, kCancel, {}, timeout_ms_);
+}
+
+Client::BatchStatus Client::run_jobs(
+    const std::vector<JobRequest>& reqs,
+    const std::function<void(const JobResponse&)>& on_result, JobsDone& done,
+    std::string& error) {
+  done = JobsDone{};
+  if (!ok()) {
+    error = error_.empty() ? "not connected" : error_;
+    return BatchStatus::kTransport;
+  }
+  std::unordered_set<u64> expected;
+  std::vector<u8> payload;
+  wire::put_u32(payload, static_cast<u32>(reqs.size()));
+  for (const JobRequest& req : reqs) {
+    expected.insert(job_id(req));
+    encode(payload, req);
+  }
+  if (!write_frame(fd_, kRunJobs, payload, timeout_ms_)) {
+    error = "connection lost while sending job batch";
+    return BatchStatus::kTransport;
+  }
+  // The daemon streams one kJobResult per job (completion order), then
+  // exactly one kJobsDone. Anything else on the wire is either a daemon
+  // verdict (kError — not retryable) or a broken stream. The daemon
+  // validates the whole batch before streaming, so a kError after results
+  // have arrived can only mean the stream broke mid-batch — transport,
+  // not verdict.
+  bool got_results = false;
+  for (;;) {
+    Frame reply;
+    std::string frame_err;
+    if (!read_frame(fd_, reply, kMaxResponseFrame, &frame_err, timeout_ms_)) {
+      error = frame_err.empty() ? "daemon closed the connection" : frame_err;
+      return BatchStatus::kTransport;
+    }
+    wire::Reader r(reply.payload.data(), reply.payload.size());
+    if (reply.type == kJobResult) {
+      JobResponse resp;
+      if (!decode(r, resp) || expected.count(resp.job_id) == 0) {
+        error = "malformed job result";
+        return BatchStatus::kTransport;
+      }
+      if (on_result) on_result(resp);
+      got_results = true;
+    } else if (reply.type == kJobsDone) {
+      if (!decode(r, done)) {
+        error = "malformed batch summary";
+        return BatchStatus::kTransport;
+      }
+      return BatchStatus::kDone;
+    } else if (reply.type == kError) {
+      if (!r.get_string(error, kMaxResponseFrame)) error = "malformed error reply";
+      return got_results ? BatchStatus::kTransport : BatchStatus::kRemoteError;
+    } else {
+      error = "unexpected reply type " + std::to_string(reply.type);
+      return BatchStatus::kTransport;
+    }
+  }
 }
 
 }  // namespace hcsim::svc

@@ -18,8 +18,10 @@
 #include "exp/sweep.hpp"
 #include "sample/record_stream.hpp"
 #include "sim/simulator.hpp"
+#include "svc/io.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
+#include "util/faultpoint.hpp"
 
 namespace hcsim::svc {
 
@@ -40,23 +42,23 @@ struct ServeJob {
 /// True when the client is gone (EOF/HUP) or sent kCancel. Pipelined
 /// non-cancel frames are left un-consumed for the main loop.
 bool connection_cancelled(int fd) {
-  pollfd p{};
-  p.fd = fd;
-  p.events = POLLIN;
-  const int r = ::poll(&p, 1, 0);
-  if (r < 0) return errno != EINTR;
+  const int r = io::poll_in(fd, 0);
+  if (r < 0) return true;  // poll error: the descriptor is unusable
   if (r == 0) return false;
-  if (p.revents & (POLLERR | POLLNVAL)) return true;
-  if (!(p.revents & (POLLIN | POLLHUP))) return false;
 
   u8 head[5];
-  const ssize_t got = ::recv(fd, head, sizeof(head), MSG_PEEK | MSG_DONTWAIT);
+  ssize_t got;
+  do {
+    got = ::recv(fd, head, sizeof(head), MSG_PEEK | MSG_DONTWAIT);
+  } while (got < 0 && errno == EINTR);
   if (got == 0) return true;  // orderly EOF: client departed mid-job
-  if (got < 0) return !(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR);
+  if (got < 0) return !(errno == EAGAIN || errno == EWOULDBLOCK);
   if (got < static_cast<ssize_t>(sizeof(head))) return false;  // partial header
   const u32 len = wire::load_u32le(head);
   if (len != 1 || head[4] != kCancel) return false;  // a pipelined request
-  ::recv(fd, head, sizeof(head), 0);                 // consume the cancel frame
+  do {
+    got = ::recv(fd, head, sizeof(head), 0);  // consume the cancel frame
+  } while (got < 0 && errno == EINTR);
   return true;
 }
 
@@ -106,27 +108,40 @@ bool shm_path_allowed(const std::string& path, const std::string& shm_dir,
 class Daemon {
  public:
   explicit Daemon(const DaemonOptions& opts)
-      : opts_(opts), service_(opts.threads) {}
+      : opts_(opts), service_(opts.threads, opts.journal_dir) {}
 
   int run() {
+    // Domain-tag every fire() on the serve thread so fault schedules can
+    // target "daemon.sock.write.reset" without also severing an in-process
+    // client's writes (the fixture tests host both ends in one process).
+    fault::ScopedDomain domain("daemon");
     const int listen_fd = open_socket();
     if (listen_fd < 0) return 1;
     std::fprintf(stderr, "hcsimd: listening on %s (%u worker threads)\n",
                  opts_.socket_path.c_str(), service_.pool().size());
+    if (!opts_.journal_dir.empty()) {
+      if (!service_.journal_error().empty())
+        std::fprintf(stderr, "hcsimd: WARNING: journal disabled: %s\n",
+                     service_.journal_error().c_str());
+      else
+        std::fprintf(stderr,
+                     "hcsimd: journal %s (%llu jobs recovered, %llu torn bytes "
+                     "dropped)\n",
+                     service_.journal().path().c_str(),
+                     static_cast<unsigned long long>(service_.journal().recovered()),
+                     static_cast<unsigned long long>(service_.journal().dropped_bytes()));
+    }
 
     bool shutdown_requested = false;
     while (!shutdown_requested && !g_stop.load(std::memory_order_relaxed)) {
-      pollfd p{};
-      p.fd = listen_fd;
-      p.events = POLLIN;
       const int timeout =
           opts_.idle_timeout_ms == 0
               ? -1
               : static_cast<int>(std::min<u64>(opts_.idle_timeout_ms, 1u << 30));
-      const int r = ::poll(&p, 1, timeout);
+      const int r = io::poll_in(listen_fd, timeout, &g_stop);
       if (r < 0) {
-        if (errno == EINTR) continue;  // signal: loop re-checks g_stop
-        std::perror("hcsimd: poll");
+        // Interrupted by a shutdown signal, or a hard poll error.
+        if (!g_stop.load(std::memory_order_relaxed)) std::perror("hcsimd: poll");
         break;
       }
       if (r == 0) {
@@ -188,20 +203,14 @@ class Daemon {
   bool handle_connection(int fd) {
     for (;;) {
       if (opts_.conn_idle_timeout_ms != 0) {
-        pollfd p{};
-        p.fd = fd;
-        p.events = POLLIN;
         const int timeout = static_cast<int>(
             std::min<u64>(opts_.conn_idle_timeout_ms, 1u << 30));
-        int r;
-        do {
-          r = ::poll(&p, 1, timeout);
-        } while (r < 0 && errno == EINTR && !g_stop.load(std::memory_order_relaxed));
+        const int r = io::poll_in(fd, timeout, &g_stop);
         if (r == 0) {
           std::fprintf(stderr, "hcsimd: dropping idle connection\n");
           return false;
         }
-        if (r <= 0) return false;  // poll error or shutdown signal
+        if (r < 0) return false;  // poll error or shutdown signal
       }
       Frame frame;
       std::string err;
@@ -233,6 +242,9 @@ class Daemon {
         case kServeTrace:
           handle_serve_trace(fd, frame);
           break;
+        case kRunJobs:
+          if (!handle_run_jobs(fd, frame)) return false;
+          break;
         default:
           write_error(fd, "unknown frame type " + std::to_string(frame.type));
           break;
@@ -251,8 +263,14 @@ class Daemon {
     SweepResponse resp;
     std::string error;
     CancelLatch cancel(fd);
-    const bool ok =
-        service_.run(req, [&cancel] { return cancel.check(); }, resp, error);
+    const bool ok = service_.run(
+        req,
+        [&cancel] {
+          // Runs on pool workers: re-establish the daemon fault domain.
+          fault::ScopedDomain domain("daemon");
+          return cancel.check();
+        },
+        resp, error);
     if (!ok) {
       std::fprintf(stderr, "hcsimd: sweep '%s' failed: %s\n", req.sweep.c_str(),
                    error.c_str());
@@ -262,6 +280,58 @@ class Daemon {
     std::vector<u8> payload;
     encode(payload, resp);
     write_frame(fd, kResult, payload);
+  }
+
+  /// Returns false when the connection must be dropped (the result stream
+  /// died mid-batch, so the byte stream is desynchronized even if the
+  /// descriptor still looks alive).
+  bool handle_run_jobs(int fd, const Frame& frame) {
+    std::vector<JobRequest> reqs;
+    wire::Reader r(frame.payload.data(), frame.payload.size());
+    u32 n = 0;
+    if (!r.get_u32(n) || n > 4096) {
+      write_error(fd, "malformed job batch");
+      return true;
+    }
+    reqs.resize(n);
+    for (u32 i = 0; i < n; ++i)
+      if (!decode(r, reqs[i])) {
+        write_error(fd, "malformed job batch");
+        return true;
+      }
+    if (r.remaining() != 0) {
+      write_error(fd, "malformed job batch");
+      return true;
+    }
+    SweepService::BatchOutcome outcome;
+    std::string error;
+    const bool ok = service_.run_jobs(
+        reqs, /*cancelled=*/nullptr,
+        [fd](const JobResponse& resp) {
+          // Called from pool workers (serialized): re-establish the daemon
+          // fault domain for the result write.
+          fault::ScopedDomain domain("daemon");
+          std::vector<u8> payload;
+          encode(payload, resp);
+          return write_frame(fd, kJobResult, payload);
+        },
+        outcome, error);
+    if (!ok) {
+      std::fprintf(stderr, "hcsimd: job batch failed: %s\n", error.c_str());
+      // A dead result stream must NOT be answered with kError: the failure
+      // was transport, not verdict, and a client that still sees a live
+      // socket (half-open connection) would mistake kError for a semantic
+      // rejection and give up instead of re-submitting. Drop the connection.
+      if (outcome.stream_lost) return false;
+      write_error(fd, error);
+      return true;
+    }
+    std::fprintf(stderr, "hcsimd: %u jobs done (%llu from journal)\n", n,
+                 static_cast<unsigned long long>(outcome.journal_hits));
+    std::vector<u8> payload;
+    encode(payload, JobsDone{outcome.completed, outcome.journal_hits});
+    write_frame(fd, kJobsDone, payload);
+    return true;
   }
 
   void handle_serve_trace(int fd, const Frame& frame) {
@@ -349,6 +419,9 @@ int run_daemon(const DaemonOptions& opts) {
     std::fprintf(stderr, "hcsimd: --socket is required\n");
     return 2;
   }
+  // Arm the deterministic fault schedule (HCSIM_FAULT) before anything can
+  // hit a fault point; a fresh daemon process starts with fresh counters.
+  fault::reload_from_env();
   struct sigaction sa{};
   sa.sa_handler = on_signal;
   ::sigaction(SIGINT, &sa, nullptr);

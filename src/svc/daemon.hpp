@@ -34,6 +34,11 @@ struct DaemonOptions {
   /// cannot starve the accept loop (connections are served one at a time).
   /// 0 disables the limit.
   u64 conn_idle_timeout_ms = 60000;
+  /// Non-empty: persist completed kRunJobs results to
+  /// `<journal_dir>/daemon.journal` and recover them on startup, so a
+  /// crashed daemon serves re-submitted jobs from disk instead of
+  /// recomputing (docs/PROTOCOL.md, "Job ids and the journal").
+  std::string journal_dir;
 };
 
 /// Run the daemon until shutdown. Returns a process exit code.

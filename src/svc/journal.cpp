@@ -1,0 +1,240 @@
+#include "svc/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "trace/wire.hpp"
+#include "util/faultpoint.hpp"
+
+namespace hcsim::svc {
+
+namespace {
+
+constexpr u32 kMagic = 0x314A4348;  // "HCJ1" little-endian
+constexpr u32 kFileVersion = 1;
+constexpr u32 kHeaderBytes = 8;
+/// Sanity cap on one record; a length beyond it is corruption, not data.
+constexpr u32 kMaxRecordBytes = 1u << 26;
+
+bool write_fully(int fd, const u8* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t put = ::write(fd, p, n);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
+
+u32 crc32(const u8* data, std::size_t n) {
+  static const std::array<u32, 256> table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  u32 crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Journal::valid() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_ >= 0 && !failed_;
+}
+
+bool Journal::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    error_ = "journal already open";
+    return false;
+  }
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    error_ = "cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0 || !S_ISREG(st.st_mode)) {
+    error_ = path + " is not a regular file";
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  const u64 file_size = static_cast<u64>(st.st_size);
+
+  if (file_size == 0) {
+    // Fresh journal: stamp the header.
+    u8 header[kHeaderBytes];
+    wire::store_u32le(header, kMagic);
+    wire::store_u32le(header + 4, kFileVersion);
+    if (!write_fully(fd_, header, sizeof(header))) {
+      error_ = "cannot write journal header: " + std::string(std::strerror(errno));
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  std::vector<u8> bytes(file_size);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t got = ::read(fd_, bytes.data() + off, bytes.size() - off);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    off += static_cast<std::size_t>(got);
+  }
+  bytes.resize(off);
+
+  // Never truncate a file we cannot positively identify as ours: a typo'd
+  // --journal-dir must not eat foreign data.
+  if (bytes.size() < kHeaderBytes || wire::load_u32le(bytes.data()) != kMagic) {
+    error_ = path + " is not an hcsim journal (bad magic)";
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  if (wire::load_u32le(bytes.data() + 4) != kFileVersion) {
+    error_ = path + ": unsupported journal version";
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+
+  // Scan records; stop at the first torn/corrupt one — everything after a
+  // bad record is unreachable (lengths chain), so the valid prefix is all
+  // there is to recover.
+  u64 good_end = kHeaderBytes;
+  std::size_t pos = kHeaderBytes;
+  while (pos + 8 <= bytes.size()) {
+    const u32 len = wire::load_u32le(bytes.data() + pos);
+    const u32 crc = wire::load_u32le(bytes.data() + pos + 4);
+    if (len == 0 || len > kMaxRecordBytes) break;
+    if (pos + 8 + len > bytes.size()) break;  // torn tail
+    const u8* payload = bytes.data() + pos + 8;
+    if (crc32(payload, len) != crc) break;  // corrupt record
+    wire::Reader r(payload, len);
+    u64 id = 0;
+    SimResult result;
+    if (!r.get_u64(id) || !decode(r, result) || r.remaining() != 0) break;
+    results_.emplace(id, std::move(result));
+    ++recovered_;
+    pos += 8 + len;
+    good_end = pos;
+  }
+
+  if (good_end < bytes.size()) {
+    dropped_bytes_ = bytes.size() - good_end;
+    if (::ftruncate(fd_, static_cast<off_t>(good_end)) != 0) {
+      error_ = "cannot truncate torn tail: " + std::string(std::strerror(errno));
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+  }
+  if (::lseek(fd_, static_cast<off_t>(good_end), SEEK_SET) < 0) {
+    error_ = "cannot seek journal: " + std::string(std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+bool Journal::lookup(u64 job_id, SimResult& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = results_.find(job_id);
+  if (it == results_.end()) return false;
+  out = it->second;
+  ++hits_;
+  return true;
+}
+
+bool Journal::contains(u64 job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.count(job_id) != 0;
+}
+
+bool Journal::append(u64 job_id, const SimResult& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return append_locked(job_id, result);
+}
+
+bool Journal::append_locked(u64 job_id, const SimResult& result) {
+  if (fd_ < 0 || failed_) return false;
+  if (results_.count(job_id) != 0) return true;  // already durable
+
+  std::vector<u8> payload;
+  wire::put_u64(payload, job_id);
+  encode(payload, result);
+
+  std::vector<u8> record;
+  record.reserve(8 + payload.size());
+  wire::put_u32(record, static_cast<u32>(payload.size()));
+  wire::put_u32(record, crc32(payload.data(), payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+
+  if (fault::enabled() && fault::fire("journal.append.torn")) {
+    // Simulate a crash mid-write: half the record lands on disk and the
+    // journal declares itself broken (a real crash would take the process).
+    write_fully(fd_, record.data(), record.size() / 2);
+    failed_ = true;
+    error_ = "injected torn append";
+    return false;
+  }
+
+  // One write(2) for the whole record: a crash tears at most this record,
+  // which recovery detects by length/CRC and truncates.
+  if (!write_fully(fd_, record.data(), record.size())) {
+    failed_ = true;
+    error_ = "journal append failed: " + std::string(std::strerror(errno));
+    return false;
+  }
+  results_.emplace(job_id, result);
+  return true;
+}
+
+std::size_t Journal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.size();
+}
+
+u64 Journal::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+u64 Journal::recovered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_;
+}
+
+u64 Journal::dropped_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_bytes_;
+}
+
+}  // namespace hcsim::svc

@@ -19,8 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "core/machine_config.hpp"
+#include "core/sim_result.hpp"
 #include "trace/wire.hpp"
 #include "util/types.hpp"
+#include "wload/profile.hpp"
 
 namespace hcsim::svc {
 
@@ -39,6 +42,8 @@ enum FrameType : u8 {
   kCancel = 0x04,      // cancel the in-flight job (no reply of its own)
   kShutdown = 0x05,    // answered with kBye, then the daemon exits
   kServeTrace = 0x06,  // ServeTraceRequest; answered with kServing or kError
+  kRunJobs = 0x07,     // u32 n + n JobRequests; answered with a kJobResult
+                       // stream (completion order) closed by kJobsDone
 
   // daemon -> client
   kResult = 0x81,     // SweepResponse
@@ -47,6 +52,8 @@ enum FrameType : u8 {
   kBye = 0x84,
   kError = 0x85,    // string message
   kServing = 0x86,  // trace bus is up on the requested shm path
+  kJobResult = 0x87,  // JobResponse (one per job, any order)
+  kJobsDone = 0x88,   // u64 jobs completed, u64 journal hits in the batch
 };
 
 struct Frame {
@@ -54,13 +61,17 @@ struct Frame {
   std::vector<u8> payload;
 };
 
-/// Read one frame (blocking). False on EOF, socket error, or a length
-/// outside [1, max_frame] — the stream is unusable afterwards; `err` (when
-/// non-null) distinguishes clean EOF ("") from corruption.
-bool read_frame(int fd, Frame& frame, u32 max_frame, std::string* err = nullptr);
+/// Read one frame. False on EOF, socket error, a length outside
+/// [1, max_frame], or after `timeout_ms` (< 0 = block forever) — the stream
+/// is unusable afterwards; `err` (when non-null) distinguishes clean EOF
+/// ("") from corruption/timeout.
+bool read_frame(int fd, Frame& frame, u32 max_frame, std::string* err = nullptr,
+                int timeout_ms = -1);
 
-/// Write one frame (blocking, SIGPIPE-safe). False when the peer is gone.
-bool write_frame(int fd, u8 type, const std::vector<u8>& payload);
+/// Write one frame (SIGPIPE-safe). False when the peer is gone or the
+/// deadline expires mid-frame.
+bool write_frame(int fd, u8 type, const std::vector<u8>& payload,
+                 int timeout_ms = -1);
 
 /// Convenience: kError frame with a message.
 bool write_error(int fd, const std::string& msg);
@@ -122,5 +133,71 @@ bool decode(wire::Reader& r, ServeTraceRequest& req);
 
 void encode_sweep_list(std::vector<u8>& buf, const std::vector<std::string>& names);
 bool decode_sweep_list(wire::Reader& r, std::vector<std::string>& names);
+
+// --- value codecs (kRunJobs payloads + the job journal) ---------------------
+// Canonical little-endian encodings of the simulation inputs and outputs.
+// Field order is part of the format: job ids are content hashes over these
+// bytes, and the journal persists them — change them only with a version
+// bump (kProtocolVersion for frames, Journal's file version for the log).
+// Doubles travel as IEEE-754 bit patterns, so encode/decode round-trips are
+// exact and the bytes are identical on every host.
+
+void encode(std::vector<u8>& buf, const MachineConfig& cfg);
+bool decode(wire::Reader& r, MachineConfig& cfg);
+
+void encode(std::vector<u8>& buf, const WorkloadProfile& profile);
+bool decode(wire::Reader& r, WorkloadProfile& profile);
+
+void encode(std::vector<u8>& buf, const SimResult& result);
+bool decode(wire::Reader& r, SimResult& result);
+
+// --- kRunJobs ---------------------------------------------------------------
+
+/// One simulation job, fully self-contained: unlike kSweep (which names a
+/// registry entry), the request carries the machine config, the workload
+/// profile and the sampling window spec, so any daemon computes the same
+/// result regardless of its local registry — the property that makes jobs
+/// journal-addressable and re-submittable anywhere.
+struct JobRequest {
+  u32 version = kProtocolVersion;
+  MachineConfig config;
+  WorkloadProfile profile;
+  u64 n_records = 0;  // resolved trace length (never 0 on the wire)
+  // Sampling window spec; all jobs of one kRunJobs batch must agree (the
+  // active spec is process-global on the daemon).
+  bool sampled = false;
+  u64 warmup = 0;
+  u64 measure = 0;
+  u64 period = 0;
+  u64 max_windows = 0;
+};
+
+void encode(std::vector<u8>& buf, const JobRequest& req);
+bool decode(wire::Reader& r, JobRequest& req);
+
+/// Stable content-addressed job identity: FNV-1a 64 over the canonical
+/// encoding of everything that determines the result (config, profile,
+/// n_records, sample spec — not the protocol version). Two processes that
+/// would simulate the same point compute the same id, which is what lets a
+/// restarted daemon or client recognise already-journaled work.
+u64 job_id(const JobRequest& req);
+
+struct JobResponse {
+  u64 job_id = 0;
+  bool from_journal = false;  // served from the journal, not recomputed
+  SimResult result;
+};
+
+void encode(std::vector<u8>& buf, const JobResponse& resp);
+bool decode(wire::Reader& r, JobResponse& resp);
+
+/// kJobsDone payload: how the batch went.
+struct JobsDone {
+  u64 completed = 0;
+  u64 journal_hits = 0;
+};
+
+void encode(std::vector<u8>& buf, const JobsDone& done);
+bool decode(wire::Reader& r, JobsDone& done);
 
 }  // namespace hcsim::svc

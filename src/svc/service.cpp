@@ -1,18 +1,29 @@
 #include "svc/service.hpp"
 
+#include <sys/stat.h>
+
 #include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <thread>
 
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
 #include "rv/kernels.hpp"
 #include "sample/spec.hpp"
+#include "sim/simulator.hpp"
+#include "util/faultpoint.hpp"
 
 namespace hcsim::svc {
 
-SweepService::SweepService(unsigned threads)
+SweepService::SweepService(unsigned threads, const std::string& journal_dir)
     : pool_(threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
-                         : threads) {}
+                         : threads) {
+  if (journal_dir.empty()) return;
+  ::mkdir(journal_dir.c_str(), 0755);  // single level; EEXIST is fine
+  if (!journal_.open(journal_dir + "/daemon.journal"))
+    journal_error_ = journal_.error();
+}
 
 bool SweepService::run(const SweepRequest& req,
                        const std::function<bool()>& cancelled, SweepResponse& resp,
@@ -77,6 +88,104 @@ bool SweepService::run(const SweepRequest& req,
           std::chrono::steady_clock::now() - t0)
           .count());
   return true;
+}
+
+bool SweepService::run_jobs(const std::vector<JobRequest>& reqs,
+                            const std::function<bool()>& cancelled,
+                            const std::function<bool(const JobResponse&)>& on_result,
+                            BatchOutcome& outcome, std::string& error) {
+  outcome = BatchOutcome{};
+  if (reqs.empty()) return true;
+
+  const JobRequest& first = reqs.front();
+  for (const JobRequest& req : reqs) {
+    if (req.version != kProtocolVersion) {
+      error = "unsupported protocol version " + std::to_string(req.version);
+      return false;
+    }
+    if (req.n_records == 0) {
+      error = "job with n_records 0";
+      return false;
+    }
+    // The active sample spec is process-global, so one batch = one spec.
+    if (req.sampled != first.sampled || req.warmup != first.warmup ||
+        req.measure != first.measure || req.period != first.period ||
+        req.max_windows != first.max_windows) {
+      error = "mixed sample specs in one job batch";
+      return false;
+    }
+  }
+
+  sample::SampleSpec sample_spec;
+  if (first.sampled) {
+    sample_spec.warmup = first.warmup != 0 ? first.warmup : sample::kDefaultWarmup;
+    sample_spec.measure = first.measure != 0 ? first.measure : sample::kDefaultMeasure;
+    sample_spec.period = first.period;
+    sample_spec.max_windows = first.max_windows;
+    if (sample_spec.period != 0 &&
+        sample_spec.period < sample_spec.warmup + sample_spec.measure) {
+      error = "sample period smaller than warmup + measure";
+      return false;
+    }
+  }
+
+  std::lock_guard<std::mutex> job(job_mu_);
+  sample::set_active_sample_spec(sample_spec);
+
+  // Per-batch latch (the pool is shared); `mu` also serializes on_result and
+  // the outcome counters.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t left = reqs.size();
+  bool stream_ok = true;
+  bool batch_cancelled = false;
+
+  for (const JobRequest& req : reqs) {
+    pool_.submit([&, &req = req] {
+      if (cancelled && cancelled()) {
+        std::lock_guard<std::mutex> lock(mu);
+        batch_cancelled = true;
+        if (--left == 0) cv.notify_all();
+        return;
+      }
+      JobResponse resp;
+      resp.job_id = job_id(req);
+      const bool journaled = journal_.lookup(resp.job_id, resp.result);
+      resp.from_journal = journaled;
+      if (!journaled) {
+        // The crash the journal exists to survive: abort() between jobs, at
+        // a deterministic index, with everything before it already durable.
+        if (fault::enabled() && fault::fire("job.abort")) std::abort();
+        resp.result = simulate_workload(req.config, req.profile, req.n_records);
+        journal_.append(resp.job_id, resp.result);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      // A dead stream stops sending but NOT simulating: the remainder keeps
+      // landing in the journal, so the client's re-submission after
+      // reconnect is served as pure journal hits.
+      if (stream_ok) {
+        if (on_result(resp)) {
+          ++outcome.completed;
+          if (resp.from_journal) ++outcome.journal_hits;
+        } else {
+          stream_ok = false;
+        }
+      }
+      if (--left == 0) cv.notify_all();
+    });
+  }
+
+  bool ok;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&left] { return left == 0; });
+    ok = stream_ok && !batch_cancelled;
+    outcome.stream_lost = !stream_ok;
+    if (batch_cancelled) error = "cancelled";
+    else if (!stream_ok) error = "client connection lost mid-batch";
+  }
+  sample::set_active_sample_spec(sample::SampleSpec{});
+  return ok;
 }
 
 bool resolve_workload(const std::string& name, WorkloadProfile& out,

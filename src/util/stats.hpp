@@ -78,6 +78,7 @@ class Histogram {
   }
 
   u64 total() const { return total_; }
+  u64 sum() const { return sum_; }
   u64 bin(std::size_t i) const { return i < counts_.size() ? counts_[i] : 0; }
   std::size_t bins() const { return counts_.size() - 1; }
   double mean() const { return total_ ? static_cast<double>(sum_) / static_cast<double>(total_) : 0.0; }
@@ -108,6 +109,20 @@ class Histogram {
     for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
     total_ += o.total_;
     sum_ += o.sum_;
+  }
+
+  /// Deserialization escape hatch (svc job journal / wire codec): restore a
+  /// histogram from its serialized (counts, sum) parts. Rebuilding through
+  /// add() cannot reproduce `sum_` exactly — values that landed in the
+  /// overflow bin lost their magnitude — so the exact sum rides along.
+  /// `counts` includes the overflow bin (bins()+1 entries); `total` is
+  /// implied (add() keeps total_ == Σ counts).
+  void restore(std::vector<u64> counts, u64 sum) {
+    HCSIM_CHECK(!counts.empty(), "Histogram::restore: empty bin vector");
+    counts_ = std::move(counts);
+    total_ = 0;
+    for (u64 c : counts_) total_ += c;
+    sum_ = sum;
   }
 
   /// Bin-wise subtraction of an earlier checkpoint of *this same* histogram:

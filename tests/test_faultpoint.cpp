@@ -1,0 +1,122 @@
+// src/util/faultpoint — the deterministic fault-injection harness.
+//
+// The contract under test: a schedule arms exactly the named points at
+// exactly the named hit indices; everything else — other points, other hits,
+// a disarmed harness — is a guaranteed no-op. The recovery tests
+// (test_fault_recovery.cpp) lean on this determinism, so it gets its own
+// unit coverage.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/faultpoint.hpp"
+
+namespace hcsim::fault {
+namespace {
+
+/// Every test leaves the process disarmed — fault schedules are global and
+/// must never leak into an unrelated test.
+class FaultPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_schedule(""); }
+};
+
+TEST_F(FaultPointTest, DisarmedFiresNothing) {
+  set_schedule("");
+  EXPECT_FALSE(enabled());
+  EXPECT_FALSE(fire("sock.read.eintr"));
+  // A disarmed harness does not even count hits (fast-path early out).
+  EXPECT_EQ(hits("sock.read.eintr"), 0u);
+}
+
+TEST_F(FaultPointTest, NthHitFiresExactlyOnce) {
+  set_schedule("p:2");
+  EXPECT_TRUE(enabled());
+  EXPECT_FALSE(fire("p"));  // hit 1
+  EXPECT_TRUE(fire("p"));   // hit 2: the scheduled one
+  EXPECT_FALSE(fire("p"));  // hit 3: count defaults to 1
+  EXPECT_EQ(hits("p"), 3u);
+  EXPECT_EQ(hits("q"), 0u);
+}
+
+TEST_F(FaultPointTest, CountExtendsTheWindow) {
+  set_schedule("p:2:3");
+  bool fired[5];
+  for (bool& f : fired) f = fire("p");
+  EXPECT_FALSE(fired[0]);
+  EXPECT_TRUE(fired[1]);
+  EXPECT_TRUE(fired[2]);
+  EXPECT_TRUE(fired[3]);
+  EXPECT_FALSE(fired[4]);
+}
+
+TEST_F(FaultPointTest, CountZeroMeansEveryHitFromNth) {
+  set_schedule("p:3:0");
+  EXPECT_FALSE(fire("p"));
+  EXPECT_FALSE(fire("p"));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(fire("p")) << "hit " << (i + 3);
+}
+
+TEST_F(FaultPointTest, MultipleEntriesAreIndependent) {
+  set_schedule("a:1,b:2");
+  EXPECT_TRUE(fire("a"));
+  EXPECT_FALSE(fire("b"));
+  EXPECT_TRUE(fire("b"));
+  EXPECT_FALSE(fire("c"));
+}
+
+TEST_F(FaultPointTest, DomainQualifiedEntryOnlyFiresUnderThatDomain) {
+  set_schedule("daemon.p:1");
+  EXPECT_FALSE(fire("p"));  // no domain: plain counter, no match
+  {
+    ScopedDomain domain("client");
+    EXPECT_FALSE(fire("p"));  // wrong domain
+  }
+  {
+    ScopedDomain domain("daemon");
+    EXPECT_TRUE(fire("p"));  // first *daemon* hit, even though third overall
+  }
+  // Plain and qualified counters are tracked separately.
+  EXPECT_EQ(hits("p"), 3u);
+  EXPECT_EQ(hits("daemon.p"), 1u);
+  EXPECT_EQ(hits("client.p"), 1u);
+}
+
+TEST_F(FaultPointTest, PlainEntryFiresRegardlessOfDomain) {
+  set_schedule("p:1:0");
+  ScopedDomain domain("daemon");
+  EXPECT_TRUE(fire("p"));
+}
+
+TEST_F(FaultPointTest, ScopedDomainRestoresThePreviousDomain) {
+  set_schedule("outer.p:1:0,inner.p:1:0");
+  ScopedDomain outer("outer");
+  {
+    ScopedDomain inner("inner");
+    EXPECT_TRUE(fire("p"));
+    EXPECT_EQ(hits("inner.p"), 1u);
+  }
+  EXPECT_TRUE(fire("p"));
+  EXPECT_EQ(hits("outer.p"), 1u);  // back under "outer" after inner's dtor
+}
+
+TEST_F(FaultPointTest, ReloadFromEnvArmsAndDisarms) {
+  ::setenv("HCSIM_FAULT", "env.point:1", 1);
+  reload_from_env();
+  EXPECT_TRUE(enabled());
+  EXPECT_TRUE(fire("env.point"));
+  ::unsetenv("HCSIM_FAULT");
+  reload_from_env();
+  EXPECT_FALSE(enabled());
+}
+
+TEST_F(FaultPointTest, SetScheduleResetsCounters) {
+  set_schedule("p:2");
+  EXPECT_FALSE(fire("p"));
+  set_schedule("p:2");  // counters cleared: the next hit is hit 1 again
+  EXPECT_FALSE(fire("p"));
+  EXPECT_TRUE(fire("p"));
+}
+
+}  // namespace
+}  // namespace hcsim::fault

@@ -8,19 +8,32 @@
 //                       [--sampled] [--sample-warmup N] [--sample-measure N]
 //                       [--sample-period N] [--sample-windows N]
 //                       [--compare-full] [--max-rel-err X]
-//                       [--connect SOCK]
+//                       [--connect SOCK] [--journal-dir DIR] [--retry N]
+//                       [--retry-backoff-ms N] [--timeout-ms N] [--no-fallback]
 //   hcsim_sweep --connect SOCK --shutdown
 //
 // sweep: fig06 fig12 cumulative edp helper_design rv smoke
 // --threads 0 uses every hardware thread; --threads 1 (default) runs
 // serially. Results are identical across thread counts.
 //
-// --connect SOCK submits the sweep to a running hcsimd over its Unix-domain
-// socket instead of simulating in-process. The daemon's CSV output is
-// byte-identical to the in-process run (CSV carries no timing metadata; the
-// JSON report embeds the daemon's wall time in its header but is otherwise
-// identical). --compare-full needs per-point data and is not available over
-// --connect; --threads is daemon-side configuration and is ignored.
+// --connect SOCK runs the sweep fault-tolerantly over a hcsimd socket: the
+// grid is expanded into content-addressed jobs client-side, submitted in
+// kRunJobs batches, and any transport failure triggers reconnect with capped
+// exponential backoff (--retry attempts, --retry-backoff-ms base) followed
+// by idempotent re-submission of only the still-missing jobs. When the
+// daemon stays unreachable the remainder is computed in-process (--threads
+// applies there; --no-fallback fails instead). --journal-dir DIR keeps a
+// client-side journal (DIR/client.journal) so a killed hcsim_sweep rerun
+// resumes from disk; it also enables journaled in-process runs without
+// --connect. Because every job is a pure function of its request, the CSV
+// is byte-identical to an uninterrupted in-process run no matter how the
+// transport behaved. --compare-full needs per-point data and is not
+// available in fault-tolerant mode. --timeout-ms bounds each protocol frame
+// (default: block forever).
+//
+// Exit codes: 0 success; 1 runtime failure (I/O, --max-rel-err exceeded);
+// 2 usage error or unknown sweep; 3 connect/transport failure after retries
+// (including --shutdown over a dead socket, and sweeps with --no-fallback).
 //
 // Sampling: --sampled turns on warm-up/measure windowed simulation for every
 // point (defaults warmup=20000 measure=80000, period auto ~20 windows); any
@@ -41,6 +54,7 @@
 #include "exp/sweep.hpp"
 #include "sample/spec.hpp"
 #include "svc/client.hpp"
+#include "svc/remote_sweep.hpp"
 
 using namespace hcsim;
 using namespace hcsim::exp;
@@ -57,7 +71,11 @@ int usage(const char* argv0) {
                "          [--sampled] [--sample-warmup N] [--sample-measure N]\n"
                "          [--sample-period N] [--sample-windows N]\n"
                "          [--compare-full] [--max-rel-err X]\n"
-               "          [--connect SOCK] [--shutdown]\n"
+               "          [--connect SOCK] [--journal-dir DIR] [--retry N]\n"
+               "          [--retry-backoff-ms N] [--timeout-ms N] [--no-fallback]\n"
+               "          [--shutdown]\n"
+               "exit codes: 0 ok, 1 runtime failure, 2 usage/unknown sweep,\n"
+               "            3 connect/transport failure after retries\n"
                "sweeps:",
                argv0);
   for (const std::string& n : sweep_names()) std::fprintf(stderr, " %s", n.c_str());
@@ -153,7 +171,11 @@ int main(int argc, char** argv) {
   }
 
   RunOptions opts;
-  std::string csv_path, json_path, connect_path;
+  std::string csv_path, json_path, connect_path, journal_dir;
+  u64 retries = 5;
+  u64 retry_backoff_ms = 100;
+  u64 timeout_ms = 0;  // 0 = no per-frame deadline
+  bool no_fallback = false;
   bool shutdown_daemon = false;
   bool quiet = false;
   // Sampling starts from the HCSIM_SAMPLE_* environment so CLI flags only
@@ -215,6 +237,21 @@ int main(int argc, char** argv) {
       max_rel_err = parse_double("--max-rel-err", next());
     } else if (arg == "--connect") {
       connect_path = next();
+    } else if (arg == "--journal-dir") {
+      journal_dir = next();
+    } else if (arg == "--retry") {
+      retries = parse_u64("--retry", next(), /*allow_zero=*/false);
+      if (retries > 1000) {
+        std::fprintf(stderr, "--retry: %llu exceeds the limit of 1000\n",
+                     static_cast<unsigned long long>(retries));
+        return 2;
+      }
+    } else if (arg == "--retry-backoff-ms") {
+      retry_backoff_ms = parse_u64("--retry-backoff-ms", next(), /*allow_zero=*/true);
+    } else if (arg == "--timeout-ms") {
+      timeout_ms = parse_u64("--timeout-ms", next(), /*allow_zero=*/false);
+    } else if (arg == "--no-fallback") {
+      no_fallback = true;
     } else if (arg == "--shutdown") {
       shutdown_daemon = true;
     } else if (arg == "--list") {
@@ -225,73 +262,99 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Remote mode: hand the sweep to a running hcsimd and print its report.
-  // The daemon's CSV/JSON is byte-identical to the in-process output, so
-  // downstream plotting scripts cannot tell the difference.
-  if (!connect_path.empty()) {
-    if (compare_full || max_rel_err > 0.0) {
-      std::fprintf(stderr,
-                   "--compare-full/--max-rel-err need per-point data and are "
-                   "not available over --connect\n");
+  if (shutdown_daemon) {
+    if (connect_path.empty()) {
+      std::fprintf(stderr, "--shutdown needs --connect SOCK\n");
       return 2;
     }
     svc::Client client = svc::Client::connect(connect_path);
     if (!client.ok()) {
       std::fprintf(stderr, "%s\n", client.error().c_str());
-      return 1;
+      return 3;
     }
-    if (shutdown_daemon) {
-      std::string error;
-      if (!client.shutdown(error)) {
-        std::fprintf(stderr, "shutdown failed: %s\n", error.c_str());
-        return 1;
-      }
-      if (sweep_name.empty()) return 0;
-      std::fprintf(stderr, "daemon shut down; cannot also run '%s'\n",
-                   sweep_name.c_str());
+    if (timeout_ms != 0) client.set_timeout_ms(static_cast<int>(timeout_ms));
+    std::string error;
+    if (!client.shutdown(error)) {
+      std::fprintf(stderr, "shutdown failed: %s\n", error.c_str());
+      return 3;
+    }
+    if (sweep_name.empty()) return 0;
+    std::fprintf(stderr, "daemon shut down; cannot also run '%s'\n",
+                 sweep_name.c_str());
+    return 2;
+  }
+
+  // Fault-tolerant mode: --connect and/or --journal-dir. The grid expands
+  // client-side into content-addressed jobs; svc::run_sweep_ft drains them
+  // through the client journal, the daemon (reconnecting with backoff), and
+  // the in-process fallback, then assembles the same SweepResult the
+  // in-process path would have produced.
+  if (!connect_path.empty() || !journal_dir.empty()) {
+    if (compare_full || max_rel_err > 0.0) {
+      std::fprintf(stderr,
+                   "--compare-full/--max-rel-err need a full in-process run "
+                   "and are not available with --connect/--journal-dir\n");
       return 2;
     }
     if (sweep_name.empty()) return usage(argv[0]);
-    svc::SweepRequest req;
-    req.sweep = sweep_name;
-    if (have_len) req.trace_len = len_override;
-    if (have_seeds) req.seeds = seed_override;
-    req.sampled = sampled;
+    if (have_len) spec->trace_lens = {len_override};
+    if (have_seeds) spec->seeds = seed_override;
+
+    svc::FtSweepOptions ft;
+    ft.socket_path = connect_path;
+    ft.journal_dir = journal_dir;
+    ft.threads = opts.threads;
+    ft.retries = static_cast<unsigned>(retries);
+    ft.backoff_base_ms = retry_backoff_ms;
+    ft.timeout_ms = timeout_ms != 0 ? static_cast<int>(timeout_ms) : -1;
+    ft.allow_fallback = !no_fallback;
+    ft.sampled = sampled;
     if (sampled) {
-      req.warmup = sample_spec.warmup;
-      req.measure = sample_spec.measure;
-      req.period = sample_spec.period;
-      req.max_windows = sample_spec.max_windows;
+      ft.warmup = sample_spec.warmup;
+      ft.measure = sample_spec.measure;
+      ft.period = sample_spec.period;
+      ft.max_windows = sample_spec.max_windows;
     }
-    req.want_csv = !csv_path.empty();
-    req.want_json = !json_path.empty();
-    svc::SweepResponse resp;
+    ft.log = [](const std::string& msg) {
+      std::fprintf(stderr, "%s\n", msg.c_str());
+    };
+
+    SweepResult result;
+    svc::FtSweepStats stats;
     std::string error;
-    if (!client.sweep(req, resp, error)) {
+    const svc::FtStatus status = run_sweep_ft(*spec, ft, result, stats, error);
+    std::fprintf(stderr,
+                 "fault tolerance: %llu job(s): %llu from client journal, "
+                 "%llu from daemon journal, %llu computed remotely, "
+                 "%llu computed locally; %llu reconnect(s), "
+                 "%llu connect attempt(s)\n",
+                 static_cast<unsigned long long>(stats.jobs),
+                 static_cast<unsigned long long>(stats.client_journal_hits),
+                 static_cast<unsigned long long>(stats.daemon_journal_hits),
+                 static_cast<unsigned long long>(stats.remote_jobs),
+                 static_cast<unsigned long long>(stats.local_jobs),
+                 static_cast<unsigned long long>(stats.reconnects),
+                 static_cast<unsigned long long>(stats.connect_attempts));
+    if (status != svc::FtStatus::kOk) {
       std::fprintf(stderr, "sweep '%s' failed: %s\n", sweep_name.c_str(),
                    error.c_str());
-      return 1;
+      return status == svc::FtStatus::kTransportFailed ? 3 : 2;
     }
-    std::printf("sweep %s: %llu points, %u thread%s, %.2fs (via %s)\n",
-                sweep_name.c_str(),
-                static_cast<unsigned long long>(resp.n_points),
-                resp.threads_used, resp.threads_used == 1 ? "" : "s",
-                static_cast<double>(resp.wall_ms) / 1000.0,
-                connect_path.c_str());
-    std::printf("%s\n", resp.summary.c_str());
-    if (!csv_path.empty() && !write_file(csv_path, resp.csv)) {
+    const std::string via =
+        connect_path.empty() ? "" : " (via " + connect_path + ")";
+    std::printf("sweep %s: %zu points, %u thread%s%s\n", result.sweep.c_str(),
+                result.points.size(), result.threads_used,
+                result.threads_used == 1 ? "" : "s", via.c_str());
+    std::printf("%s\n", render_summary(result).c_str());
+    if (!csv_path.empty() && !write_file(csv_path, to_csv(result))) {
       std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
       return 1;
     }
-    if (!json_path.empty() && !write_file(json_path, resp.json)) {
+    if (!json_path.empty() && !write_file(json_path, to_json(result))) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
     }
     return 0;
-  }
-  if (shutdown_daemon) {
-    std::fprintf(stderr, "--shutdown needs --connect SOCK\n");
-    return 2;
   }
   if (sweep_name.empty()) return usage(argv[0]);
   if (have_len) spec->trace_lens = {len_override};

@@ -8,7 +8,7 @@
 //
 // Usage:
 //   hcsimd --socket PATH [--threads N] [--idle-timeout-ms N]
-//          [--conn-idle-timeout-ms N] [--shm-dir DIR]
+//          [--conn-idle-timeout-ms N] [--shm-dir DIR] [--journal-dir DIR]
 //
 // --threads 0 (default) sizes the sweep pool to the hardware. With
 // --idle-timeout-ms the daemon exits by itself once it has had no client
@@ -17,7 +17,10 @@
 // 60000, 0 = off) drops a connection that sends nothing for that long so an
 // idle client cannot starve waiting ones. --shm-dir (default /dev/shm)
 // confines kServeTrace ring segments: requests naming a path outside it are
-// answered with kError.
+// answered with kError. --journal-dir persists every completed kRunJobs
+// result to DIR/daemon.journal and recovers it on restart, so a crashed
+// daemon serves re-submitted jobs from disk instead of recomputing them
+// (docs/PROTOCOL.md, "Job ids and the journal").
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,7 +33,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--threads N] [--idle-timeout-ms N]\n"
-               "       [--conn-idle-timeout-ms N] [--shm-dir DIR]\n",
+               "       [--conn-idle-timeout-ms N] [--shm-dir DIR] [--journal-dir DIR]\n",
                argv0);
   return 2;
 }
@@ -74,6 +77,8 @@ int main(int argc, char** argv) {
       opts.conn_idle_timeout_ms = parse_u64("--conn-idle-timeout-ms", next());
     } else if (arg == "--shm-dir") {
       opts.shm_dir = next();
+    } else if (arg == "--journal-dir") {
+      opts.journal_dir = next();
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage(argv[0]);
