@@ -6,7 +6,9 @@
 #include <span>
 
 #include "bbcache/bb_cache.hpp"
+#include "core/cluster_epoch.hpp"
 #include "predict/width_predictor.hpp"
+#include "util/slot_schedule.hpp"
 #include "sample/spec.hpp"
 #include "sample/windowed.hpp"
 #include "sim/simulator.hpp"
@@ -115,6 +117,50 @@ void BM_PipelineSampled(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_PipelineSampled)->Arg(10000)->Arg(100000);
+
+void BM_ClusterEpoch(benchmark::State& state) {
+  // The fused per-cluster resource engine alone: a synthetic dispatch
+  // stream shaped like the pipeline's (mostly-forward ticks, short source
+  // delays, width 3 / queue 32 / 2-tick cycles — the wide cluster).
+  ClusterEpoch e;
+  e.init(/*issue_width=*/3, /*queue_size=*/32, /*copy_ports=*/2,
+         /*cycle_ticks=*/2);
+  Tick from = 0;
+  u32 x = 1;
+  u64 sum = 0;
+  for (auto _ : state) {
+    x = x * 1664525u + 1013904223u;
+    from += x % 3;
+    const auto d = e.dispatch(from, from + (x >> 16) % 8);
+    sum += d.issue;
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_ClusterEpoch);
+
+void BM_SlotScheduleRef(benchmark::State& state) {
+  // The legacy triple (SlotSchedule + QueueTracker + copy SlotSchedule)
+  // under the identical dispatch stream: the per-probe reference for
+  // BM_ClusterEpoch, kept alive by the HCSIM_EPOCH=0 path.
+  SlotSchedule slots(3, 2);
+  QueueTracker queue(32);
+  Tick from = 0;
+  u32 x = 1;
+  u64 sum = 0;
+  for (auto _ : state) {
+    x = x * 1664525u + 1013904223u;
+    from += x % 3;
+    const Tick qdisp = queue.earliest_dispatch(from);
+    const Tick src = from + (x >> 16) % 8;
+    const Tick issue = slots.reserve(src > qdisp ? src : qdisp);
+    queue.add(issue);
+    sum += issue;
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_SlotScheduleRef);
 
 void BM_WidthPredictorTrain(benchmark::State& state) {
   WidthPredictor p;

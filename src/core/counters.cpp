@@ -26,6 +26,11 @@ constexpr std::string_view kCounterNames[kNumCounters] = {
     "nready_truncations",
     "rf_write_helper",
     "rf_write_wide",
+    "stall_commit",
+    "stall_fetch",
+    "stall_issue",
+    "stall_queue",
+    "stall_rename",
     "store_accesses",
     "ul1_accesses",
     "wpred_lookups",

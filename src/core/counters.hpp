@@ -36,6 +36,14 @@ enum class Counter : u8 {
   kNreadyTruncations,  // NREADY probes clipped by the slot-ledger GC horizon
   kRfWriteHelper,
   kRfWriteWide,
+  // Per-stage stall attribution: which constraint bound each µop's dispatch
+  // (ties credit the earlier stage). kStallIssue is separate — it counts
+  // executions that sat ready in the queue waiting for an issue slot.
+  kStallCommit,  // dispatch bound by ROB recycling (commit pressure)
+  kStallFetch,   // dispatch bound by fetch + frontend depth (no stall)
+  kStallIssue,   // issued later than ready (issue-width contention)
+  kStallQueue,   // dispatch bound by issue-queue backpressure
+  kStallRename,  // dispatch bound by rename-width serialization
   kStoreAccesses,
   kUl1Accesses,
   kWpredLookups,

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bbcache/bb_cache.hpp"
+#include "core/cluster_epoch.hpp"
 #include "core/machine_config.hpp"
 #include "core/sim_result.hpp"
 #include "util/slot_schedule.hpp"
@@ -211,17 +212,30 @@ class Pipeline {
 
   // Frontend / commit schedules (wide clock domain). Fetch and commit are
   // strictly in order — every reserve is clamped to the previous result —
-  // so they use the two-word MonotonicSlots. Rename is monotonic too
-  // *unless* the helper is enabled: the split path (3 extra slots at disp)
-  // and the flush path (refill slot at redisp) reserve out of band, so
-  // helper configs keep the full SlotSchedule ledger and rename_mono_
-  // selects per config.
+  // so they use the two-word MonotonicSlots. Rename's request sequence is
+  // non-decreasing too, but the proof for helper configs leans on the
+  // dispatch-backpressure invariant (the split path reserves again at disp;
+  // the flush path reserves at redisp, and exec_in has already raised
+  // dispatch_backpressure_ to at least that tick, so the next µop cannot
+  // request earlier). The epoch engine relies on that proof and always uses
+  // MonotonicSlots; the legacy path keeps the conservative ring ledger for
+  // helper configs, which doubles as the cross-check — epoch-on and
+  // epoch-off sweeps must be byte-identical.
   MonotonicSlots fetch_slots_;
   SlotSchedule rename_slots_;
   MonotonicSlots rename_mono_slots_;
   bool rename_mono_ = false;
   MonotonicSlots commit_slots_;
-  // Backend issue slots and queue occupancy.
+
+  // Per-cluster resources. When the epoch engine is on (HCSIM_EPOCH, the
+  // default) each backend's issue slots + queue ledger + copy ports live in
+  // one by-value ClusterEpoch and the legacy structures below stay
+  // unallocated; HCSIM_EPOCH=0 flips to the per-µop SlotSchedule +
+  // QueueTracker pair, which is the reference model for the differential
+  // fuzz test and the epoch-off golden sweeps.
+  bool epoch_on_ = true;
+  std::array<ClusterEpoch, kNumBackends> epochs_;
+  // Legacy backend issue slots and queue occupancy (epoch off only).
   std::array<std::unique_ptr<SlotSchedule>, kNumBackends> issue_slots_;
   std::array<std::unique_ptr<QueueTracker>, kNumBackends> queues_;
   // Dedicated copy-µop scheduling resources per integer cluster (Section 4:

@@ -1,5 +1,6 @@
 #include "mem/cache.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/log.hpp"
@@ -14,20 +15,28 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   HCSIM_CHECK(lines_total >= cfg_.ways, "cache smaller than one set");
   num_sets_ = lines_total / cfg_.ways;
   HCSIM_CHECK(std::has_single_bit(num_sets_), "number of sets must be a power of two");
-  lines_.assign(static_cast<std::size_t>(num_sets_) * cfg_.ways, Line{});
+  ways_ = cfg_.ways;
+  line_shift_ = static_cast<unsigned>(std::countr_zero(cfg_.line_bytes));
+  tag_shift_ = line_shift_ + static_cast<unsigned>(std::countr_zero(num_sets_));
+  HCSIM_CHECK(tag_shift_ < 32, "cache covers the whole 32-bit address space");
+  stamp_bits_ = 64 - (32 - tag_shift_);
+  stamp_mask_ = (u64{1} << stamp_bits_) - 1;
+  ways_data_.assign(static_cast<std::size_t>(num_sets_) * ways_, 0);
 }
 
 bool Cache::probe(u32 addr) const {
-  const u32 set = set_of(addr);
-  const u32 tag = tag_of(addr);
-  const Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
-  for (u32 w = 0; w < cfg_.ways; ++w)
-    if (base[w].valid && base[w].tag == tag) return true;
+  const std::size_t base = static_cast<std::size_t>(set_of(addr)) * ways_;
+  const u64 tagged = static_cast<u64>(tag_of(addr)) << stamp_bits_;
+  for (u32 w = 0; w < ways_; ++w) {
+    const u64 e = ways_data_[base + w];
+    if ((e & ~stamp_mask_) == tagged && (e & stamp_mask_) != 0) return true;
+  }
   return false;
 }
 
 void Cache::invalidate_all() {
-  for (Line& l : lines_) l = Line{};
+  // Stamp 0 marks a way invalid; the tag bits are unreachable behind it.
+  std::fill(ways_data_.begin(), ways_data_.end(), 0);
 }
 
 }  // namespace hcsim

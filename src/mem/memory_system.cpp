@@ -12,7 +12,15 @@ MemorySystem::MemorySystem(const MemoryConfig& cfg)
       ul1_ports_(cfg.ul1.ports, /*cycle_ticks=*/1) {}
 
 void Mob::squash_from(SeqNum seq) {
-  while (!stores_.empty() && stores_.back().seq >= seq) stores_.pop_back();
+  while (tail_ != head_ && stores_[(tail_ - 1) & mask_].seq >= seq) --tail_;
+}
+
+void Mob::grow() {
+  const u64 cap = (mask_ + 1) * 2;
+  std::vector<StoreEntry> bigger(cap);
+  for (u64 i = head_; i != tail_; ++i) bigger[i & (cap - 1)] = stores_[i & mask_];
+  stores_ = std::move(bigger);
+  mask_ = cap - 1;
 }
 
 }  // namespace hcsim

@@ -7,8 +7,6 @@
 // single Memory Order Buffer"), which is what makes load replication legal.
 #pragma once
 
-#include <deque>
-
 #include "util/slot_schedule.hpp"
 #include "mem/cache.hpp"
 #include "util/types.hpp"
@@ -57,17 +55,22 @@ class MemorySystem {
 /// Memory order buffer: tracks in-flight stores so loads can forward from
 /// or wait on older same-address stores. Entries are keyed by the dynamic
 /// sequence number assigned at dispatch; both clusters share this structure.
+/// Entries live in a flat power-of-two ring ordered by seq — the window is
+/// short (stores retire at commit), so the reverse forwarding scan walks a
+/// few contiguous entries instead of chasing std::deque segment pointers.
 class Mob {
  public:
-  // One call per store (x2) / per load on the per-µop hot path: inline. The
-  // store window is short (stores retire at commit), so the probes are a
-  // handful of entries at most.
+  Mob() : stores_(kInitialCap), mask_(kInitialCap - 1) {}
+
+  // One call per store (x2) / per load on the per-µop hot path: inline.
   void add_store(SeqNum seq, u32 addr, u64 data_ready_cycle) {
-    stores_.push_back(StoreEntry{seq, addr, data_ready_cycle});
+    if (tail_ - head_ > mask_) [[unlikely]] grow();
+    stores_[tail_ & mask_] = StoreEntry{seq, addr, data_ready_cycle};
+    ++tail_;
   }
 
   void store_retired(SeqNum seq) {
-    while (!stores_.empty() && stores_.front().seq <= seq) stores_.pop_front();
+    while (head_ != tail_ && stores_[head_ & mask_].seq <= seq) ++head_;
   }
 
   /// Result of a load disambiguation probe.
@@ -79,14 +82,15 @@ class Mob {
   /// Check a load at sequence `seq`, address `addr`, against older stores.
   LoadCheck check_load(SeqNum seq, u32 addr) const {
     LoadCheck res;
-    if (stores_.empty()) [[likely]] return res;
+    if (head_ == tail_) [[likely]] return res;
     // Youngest older store to the same word wins (store-to-load forwarding).
     const u32 word = addr & ~3u;
-    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
-      if (it->seq >= seq) continue;
-      if ((it->addr & ~3u) == word) {
+    for (u64 i = tail_; i != head_;) {
+      const StoreEntry& e = stores_[--i & mask_];
+      if (e.seq >= seq) continue;
+      if ((e.addr & ~3u) == word) {
         res.forwarded = true;
-        res.ready_cycle = it->data_ready_cycle;
+        res.ready_cycle = e.data_ready_cycle;
         return res;
       }
     }
@@ -96,7 +100,7 @@ class Mob {
   /// Squash all stores younger than or equal to `seq` (pipeline flush).
   void squash_from(SeqNum seq);
 
-  std::size_t size() const { return stores_.size(); }
+  std::size_t size() const { return tail_ - head_; }
 
  private:
   struct StoreEntry {
@@ -104,7 +108,14 @@ class Mob {
     u32 addr;
     u64 data_ready_cycle;
   };
-  std::deque<StoreEntry> stores_;  // ordered by seq
+  static constexpr u64 kInitialCap = 64;  // power of two
+
+  void grow();
+
+  std::vector<StoreEntry> stores_;  // ring ordered by seq, [head_, tail_)
+  u64 mask_;
+  u64 head_ = 0;
+  u64 tail_ = 0;
 };
 
 }  // namespace hcsim

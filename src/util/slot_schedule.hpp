@@ -27,6 +27,19 @@
 
 namespace hcsim {
 
+/// Sliding-window length of a slot ledger in cycles. Shared by SlotSchedule
+/// and the fused ClusterEpoch engine (core/cluster_epoch.hpp) so both report
+/// the same GC horizon — range probes truncate identically. Must be a power
+/// of two and a multiple of 64; 64k cycles is far beyond any lookback the
+/// pipeline performs.
+inline constexpr u64 kSlotWindowCycles = u64{1} << 16;
+
+/// Result of a free-slot range probe (the NREADY imbalance metric).
+struct SlotRangeProbe {
+  bool free = false;
+  bool truncated = false;
+};
+
 /// Issue-slot ledger: at most `width` µops may issue per cluster cycle.
 /// Cycles are cluster-local (tick / cycle_ticks).
 ///
@@ -65,8 +78,17 @@ class SlotSchedule {
       else
         cycle = first_nonfull(nxt);
     }
-    if (cycle >= base_ + kWindowCycles) [[unlikely]]
-      gc_to(cycle - kWindowCycles + 1);
+    if (cycle >= base_ + kWindowCycles) [[unlikely]] {
+      // In steady state the frontier advances one cycle at a time, so the
+      // window slides by one: open-code that step, call out for jumps.
+      if (cycle == base_ + kWindowCycles) {
+        used_[base_ & kMask] = 0;
+        full_[(base_ & kMask) >> 6] &= ~(u64{1} << (base_ & 63));
+        ++base_;
+      } else {
+        gc_to(cycle - kWindowCycles + 1);
+      }
+    }
     u8& used = used_[cycle & kMask];
     ++used;
     if (used == width_) full_[(cycle & kMask) >> 6] |= u64{1} << (cycle & 63);
@@ -81,10 +103,7 @@ class SlotSchedule {
   /// Range probe for the NREADY imbalance metric: does any cycle overlapping
   /// the tick interval [from, until) have a free slot? `truncated` reports
   /// that part of the interval predates the GC horizon and was not probed.
-  struct RangeProbe {
-    bool free = false;
-    bool truncated = false;
-  };
+  using RangeProbe = SlotRangeProbe;
   RangeProbe free_slot_in(Tick from, Tick until) const;
 
   Tick cycle_ticks() const { return cycle_ticks_; }
@@ -93,10 +112,7 @@ class SlotSchedule {
   u64 gc_horizon_cycle() const { return base_; }
 
  private:
-  /// Sliding-window length in cycles. Must be a power of two and a multiple
-  /// of 64; 64k cycles is far beyond any lookback the pipeline performs
-  /// (reservations trail the frontier by at most a ROB lifetime).
-  static constexpr u64 kWindowCycles = u64{1} << 16;
+  static constexpr u64 kWindowCycles = kSlotWindowCycles;
   static constexpr u64 kMask = kWindowCycles - 1;
 
   u64 to_cycle(Tick t) const { return pow2_ ? (t >> shift_) : (t / cycle_ticks_); }

@@ -28,6 +28,7 @@
 #include <span>
 
 #include "bbcache/bb_cache.hpp"
+#include "core/cluster_epoch.hpp"
 #include "sample/spec.hpp"
 #include "sample/windowed.hpp"
 #include "sim/simulator.hpp"
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
   unsigned reps = 5;
   std::string label = "local";
   std::string json_path;
+  double max_helper_gap = 0.0;  // 0 = no assertion
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -84,9 +86,16 @@ int main(int argc, char** argv) {
       label = next();
     } else if (arg == "--json") {
       json_path = next();
+    } else if (arg == "--max-helper-gap") {
+      max_helper_gap = std::strtod(next(), nullptr);
+      if (max_helper_gap <= 0.0) {
+        std::fprintf(stderr, "--max-helper-gap: positive ratio required\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--uops N] [--reps N] [--label S] [--json FILE]\n",
+                   "usage: %s [--uops N] [--reps N] [--label S] [--json FILE]\n"
+                   "          [--max-helper-gap X]\n",
                    argv[0]);
       return 2;
     }
@@ -110,6 +119,15 @@ int main(int argc, char** argv) {
     SimResult r = simulate(helper_ir, trace);
     if (r.final_tick == 0) std::abort();
   });
+  // Same baseline workload through the legacy SlotSchedule/QueueTracker
+  // structures (the HCSIM_EPOCH=0 path): the in-process A/B for the fused
+  // engine, immune to run-to-run machine-load drift.
+  epoch_set_enabled(false);
+  const double epoch_off = best_items_per_sec(n_uops, reps, [&] {
+    SimResult r = simulate(baseline, trace);
+    if (r.final_tick == 0) std::abort();
+  });
+  epoch_reset_enabled();
   const double streamed = best_items_per_sec(n_uops, reps, [&] {
     SimResult r = simulate_streamed(baseline, prof, n_uops);
     if (r.final_tick == 0) std::abort();
@@ -158,15 +176,23 @@ int main(int argc, char** argv) {
       escaped_label += c;
     }
   }
-  char buf[512];
+  // Helper-cluster slowdown factor: the helper+IR machine simulates the
+  // same trace through two clusters and the copy machinery, so it is
+  // inherently slower per µop; the gap is the honest measure of how much.
+  // Computed from the same run, so machine-load drift cancels.
+  const double helper_gap = ir > 0.0 ? base / ir : 0.0;
+
+  char buf[640];
   std::string json = "{\n  \"label\": \"" + escaped_label + "\",\n";
   std::snprintf(buf, sizeof(buf),
                 "  \"workload\": \"gcc\",\n"
                 "  \"uops\": %llu,\n"
                 "  \"reps\": %u,\n"
+                "  \"helper_gap\": %.3f,\n"
                 "  \"items_per_second\": {\n"
                 "    \"trace_gen\": %.0f,\n"
                 "    \"pipeline_baseline\": %.0f,\n"
+                "    \"pipeline_epoch_off\": %.0f,\n"
                 "    \"pipeline_batched\": %.0f,\n"
                 "    \"pipeline_batched_nocache\": %.0f,\n"
                 "    \"pipeline_helper_ir\": %.0f,\n"
@@ -174,8 +200,8 @@ int main(int argc, char** argv) {
                 "    \"pipeline_sampled\": %.0f\n"
                 "  }\n"
                 "}\n",
-                static_cast<unsigned long long>(n_uops), reps, gen, base, batched,
-                batched_nocache, ir, streamed, sampled);
+                static_cast<unsigned long long>(n_uops), reps, helper_gap, gen,
+                base, epoch_off, batched, batched_nocache, ir, streamed, sampled);
   json += buf;
   std::fputs(json.c_str(), stdout);
   if (!json_path.empty()) {
@@ -184,6 +210,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
     }
+  }
+  if (max_helper_gap > 0.0 && helper_gap > max_helper_gap) {
+    std::fprintf(stderr,
+                 "helper gap %.3f exceeds --max-helper-gap %.3f "
+                 "(pipeline_helper_ir fell too far behind pipeline_baseline)\n",
+                 helper_gap, max_helper_gap);
+    return 1;
   }
   return 0;
 }
